@@ -1,0 +1,159 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus
+// micro-benchmarks of the bottleneck operators. Each experiment
+// benchmark reports the simulated cluster seconds of its workload as a
+// custom metric alongside wall time; the printable reports themselves
+// come from `go run ./cmd/haten2bench`.
+package haten2_test
+
+import (
+	"math/rand"
+	"testing"
+
+	haten2 "github.com/haten2/haten2"
+	"github.com/haten2/haten2/internal/bench"
+	"github.com/haten2/haten2/internal/core"
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+var benchCfg = bench.Config{Seed: 42}
+
+// benchReport runs one experiment per iteration, failing the benchmark
+// on error. The row count is reported so regressions in experiment
+// coverage are visible.
+func benchReport(b *testing.B, f func(bench.Config) (*bench.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := f(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+		b.ReportMetric(float64(len(rep.Rows)), "rows")
+	}
+}
+
+// --- one benchmark per table ------------------------------------------
+
+func BenchmarkTable2FeatureMatrix(b *testing.B) {
+	benchReport(b, func(bench.Config) (*bench.Report, error) { return bench.Table2(), nil })
+}
+
+func BenchmarkTable3TuckerCosts(b *testing.B) { benchReport(b, bench.Table3) }
+
+func BenchmarkTable4ParafacCosts(b *testing.B) { benchReport(b, bench.Table4) }
+
+func BenchmarkTable5Datasets(b *testing.B) {
+	benchReport(b, func(c bench.Config) (*bench.Report, error) { return bench.Table5(c), nil })
+}
+
+func BenchmarkTable6ParafacDiscovery(b *testing.B) { benchReport(b, bench.Table6) }
+
+func BenchmarkTable7TuckerGroups(b *testing.B) { benchReport(b, bench.Table7) }
+
+func BenchmarkTable8TuckerConcepts(b *testing.B) { benchReport(b, bench.Table8) }
+
+// --- one benchmark per figure -----------------------------------------
+
+func BenchmarkFig1aTuckerDataScalability(b *testing.B) { benchReport(b, bench.Fig1a) }
+
+func BenchmarkFig1bTuckerDensity(b *testing.B) { benchReport(b, bench.Fig1b) }
+
+func BenchmarkFig1cTuckerCoreSize(b *testing.B) { benchReport(b, bench.Fig1c) }
+
+func BenchmarkFig7aParafacDataScalability(b *testing.B) { benchReport(b, bench.Fig7a) }
+
+func BenchmarkFig7bParafacDensity(b *testing.B) { benchReport(b, bench.Fig7b) }
+
+func BenchmarkFig7cParafacRank(b *testing.B) { benchReport(b, bench.Fig7c) }
+
+func BenchmarkFig8MachineScalability(b *testing.B) { benchReport(b, bench.Fig8) }
+
+func BenchmarkAblationIdeas(b *testing.B) { benchReport(b, bench.Ablation) }
+
+// --- operator micro-benchmarks -----------------------------------------
+
+func benchTensor(nnz int) *tensor.Tensor {
+	return gen.Random(7, [3]int64{2000, 2000, 2000}, nnz)
+}
+
+// BenchmarkContractVariants times one distributed Tucker contraction
+// 𝒳×₂Bᵀ×₃Cᵀ per variant on a fixed workload — the per-plan cost that
+// Tables III/IV summarize.
+func BenchmarkContractVariants(b *testing.B) {
+	x := benchTensor(20000)
+	for _, v := range core.Variants {
+		if v == core.Naive {
+			continue // naive needs IJK-scale resources by design
+		}
+		b.Run(v.String(), func(b *testing.B) {
+			c := mr.NewCluster(mr.Config{Machines: 8})
+			s, err := core.Stage(c, "X", x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u1 := matrix.Random(2000, 5, randSrc(1))
+			u2 := matrix.Random(2000, 5, randSrc(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TuckerContract(s, 0, u1, u2, core.Variant(v)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMTTKRP times the in-memory kernel used by the baseline.
+func BenchmarkMTTKRP(b *testing.B) {
+	x := benchTensor(50000)
+	factors := []*matrix.Matrix{
+		matrix.Random(2000, 10, randSrc(3)),
+		matrix.Random(2000, 10, randSrc(4)),
+		matrix.Random(2000, 10, randSrc(5)),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MTTKRP(x, factors, 0)
+	}
+}
+
+// BenchmarkParafacIterationDRI times one full distributed ALS iteration
+// end to end through the public API.
+func BenchmarkParafacIterationDRI(b *testing.B) {
+	x := haten2.WrapTensor(benchTensor(20000))
+	for i := 0; i < b.N; i++ {
+		c := haten2.NewCluster(haten2.ClusterConfig{Machines: 8})
+		if _, err := haten2.Parafac(c, x, 5, haten2.Options{Variant: haten2.DRI, MaxIters: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTuckerIterationDRI is the Tucker counterpart.
+func BenchmarkTuckerIterationDRI(b *testing.B) {
+	x := haten2.WrapTensor(benchTensor(20000))
+	for i := 0; i < b.N; i++ {
+		c := haten2.NewCluster(haten2.ClusterConfig{Machines: 8})
+		if _, err := haten2.Tucker(c, x, [3]int{5, 5, 5}, haten2.Options{Variant: haten2.DRI, MaxIters: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoalesce times the sparse tensor's canonicalization.
+func BenchmarkCoalesce(b *testing.B) {
+	base := benchTensor(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := base.Clone()
+		c.Coalesce()
+	}
+}
+
+func randSrc(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

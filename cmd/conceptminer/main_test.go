@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// writeKBFile emits a KB tensor with vocab comments, as tensorgen does.
+func writeKBFile(t *testing.T) string {
+	t.Helper()
+	kb := gen.NewKB(gen.KBConfig{
+		Seed: 3, Theme: "music", ConceptNames: []string{"alpha", "beta"},
+		EntitiesPerConcept: 8, TriplesPerConcept: 120, NoiseTriples: 20,
+	})
+	path := filepath.Join(t.TempDir(), "kb.coo")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i, s := range kb.Subjects {
+		fmt.Fprintf(f, "# subject %d %s\n", i, s)
+	}
+	for i, s := range kb.Objects {
+		fmt.Fprintf(f, "# object %d %s\n", i, s)
+	}
+	for i, s := range kb.Predicates {
+		fmt.Fprintf(f, "# predicate %d %s\n", i, s)
+	}
+	if err := tensor.WriteCOO(f, kb.Tensor()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConceptMinerParafac(t *testing.T) {
+	path := writeKBFile(t)
+	var out strings.Builder
+	if err := run(&out, path, "parafac", 2, 3, 8, 25, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// Both planted concepts must surface in the printed labels.
+	for _, want := range []string{"concept 1:", "concept 2:", "music/"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Each concept's top subjects should be from one planted block.
+	for _, block := range []string{"alpha", "beta"} {
+		if !strings.Contains(s, "music/"+block) {
+			t.Fatalf("planted block %q not discovered:\n%s", block, s)
+		}
+	}
+}
+
+func TestConceptMinerTucker(t *testing.T) {
+	path := writeKBFile(t)
+	var out strings.Builder
+	if err := run(&out, path, "tucker", 2, 2, 8, 15, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Tucker 2³") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestConceptMinerErrors(t *testing.T) {
+	path := writeKBFile(t)
+	if err := run(io.Discard, "", "parafac", 2, 3, 2, 2, 1); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run(io.Discard, path, "bogus", 2, 3, 2, 2, 1); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+	if err := run(io.Discard, "/does/not/exist", "parafac", 2, 3, 2, 2, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// 4-way input rejected.
+	fourway := filepath.Join(t.TempDir(), "x4.coo")
+	f, _ := os.Create(fourway)
+	fmt.Fprintln(f, "0 0 0 0 1")
+	f.Close()
+	if err := run(io.Discard, fourway, "parafac", 2, 3, 2, 2, 1); err == nil {
+		t.Fatal("4-way input accepted")
+	}
+}
+
+func TestParseFileVocabAndLabels(t *testing.T) {
+	in := `# subject 0 music/alpha/s0
+# object 1 music/alpha/o1
+# predicate 0 ns:music.alpha.rel-0
+# tensor 2 2 1
+0 1 0 2.5
+`
+	x, v, err := parseFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 1 {
+		t.Fatalf("nnz %d", x.NNZ())
+	}
+	if v.label(0, 0) != "music/alpha/s0" {
+		t.Fatalf("subject label %q", v.label(0, 0))
+	}
+	if v.label(1, 1) != "music/alpha/o1" {
+		t.Fatalf("object label %q", v.label(1, 1))
+	}
+	// Unknown ids fall back to #id.
+	if v.label(2, 9) != "#9" {
+		t.Fatalf("fallback label %q", v.label(2, 9))
+	}
+}

@@ -1,0 +1,97 @@
+// Command haten2bench regenerates the tables and figures of the HaTen2
+// paper's evaluation section on the embedded cluster simulator.
+//
+// Usage:
+//
+//	haten2bench                  # run everything
+//	haten2bench -exp fig1a       # one experiment
+//	haten2bench -exp table3,fig8 # a subset
+//	haten2bench -full            # larger sweeps
+//	haten2bench -json            # machine-readable output
+//
+// Experiment ids: table2 table3 table4 table5 table6 table7 table8
+// fig1a fig1b fig1c fig7a fig7b fig7c fig8 nell ablation combiner.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/haten2/haten2/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full    = flag.Bool("full", false, "run the larger sweeps")
+		seed    = flag.Int64("seed", 42, "data generation seed")
+		jsonOut = flag.Bool("json", false, "emit reports as JSON instead of tables")
+	)
+	flag.Parse()
+	if err := run(*exp, *full, *seed, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "haten2bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, full bool, seed int64, jsonOut bool) error {
+	cfg := bench.Config{Full: full, Seed: seed}
+	type runner func(bench.Config) (*bench.Report, error)
+	registry := map[string]runner{
+		"table2":   func(bench.Config) (*bench.Report, error) { return bench.Table2(), nil },
+		"table3":   bench.Table3,
+		"table4":   bench.Table4,
+		"table5":   func(c bench.Config) (*bench.Report, error) { return bench.Table5(c), nil },
+		"table6":   bench.Table6,
+		"table7":   bench.Table7,
+		"table8":   bench.Table8,
+		"fig1a":    bench.Fig1a,
+		"fig1b":    bench.Fig1b,
+		"fig1c":    bench.Fig1c,
+		"fig7a":    bench.Fig7a,
+		"fig7b":    bench.Fig7b,
+		"fig7c":    bench.Fig7c,
+		"fig8":     bench.Fig8,
+		"ablation": bench.Ablation,
+		"combiner": bench.CombinerAblation,
+		"nell":     bench.TableNELL,
+	}
+	order := []string{
+		"table2", "table3", "table4", "table5",
+		"fig1a", "fig1b", "fig1c", "fig7a", "fig7b", "fig7c", "fig8",
+		"table6", "table7", "table8", "nell", "ablation", "combiner",
+	}
+	var ids []string
+	if exp == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(exp, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := registry[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(order, " "))
+			}
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := registry[id](cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if jsonOut {
+			b, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(b))
+		} else {
+			rep.Print(os.Stdout)
+			fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command tensorgen generates the synthetic datasets of the HaTen2
+// evaluation in coordinate format on stdout.
+//
+// Usage:
+//
+//	tensorgen -kind random -dims 1000x1000x1000 -nnz 10000 > random.coo
+//	tensorgen -kind freebase -seed 7 > music.coo
+//	tensorgen -kind nell > nell.coo
+//	tensorgen -kind intrusion > logs.coo
+//	tensorgen -kind intrusion4d > logs4.coo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "random", "dataset: random, freebase, nell, intrusion, intrusion4d")
+		dims = flag.String("dims", "1000x1000x1000", "shape IxJxK (random only)")
+		nnz  = flag.Int("nnz", 10000, "number of nonzeros (random only)")
+		seed = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *dims, *nnz, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tensorgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind, dims string, nnz int, seed int64) error {
+	var x *tensor.Tensor
+	switch kind {
+	case "random":
+		d, err := parseDims(dims)
+		if err != nil {
+			return err
+		}
+		x = gen.Random(seed, d, nnz)
+	case "freebase":
+		kb := gen.NewKB(gen.KBConfig{
+			Seed: seed, Theme: "music", ConceptNames: gen.FreebaseMusicNames,
+			EntitiesPerConcept: 12, TriplesPerConcept: 400, NoiseTriples: 200,
+		}).FilterScarcePredicates(1)
+		x = kb.Tensor()
+		if err := printVocab(w, kb); err != nil {
+			return err
+		}
+	case "nell":
+		kb := gen.NewKB(gen.KBConfig{
+			Seed: seed, Theme: "nell", ConceptNames: gen.NELLNames,
+			EntitiesPerConcept: 20, TriplesPerConcept: 600, NoiseTriples: 300,
+		}).FilterScarcePredicates(1)
+		x = kb.Tensor()
+		if err := printVocab(w, kb); err != nil {
+			return err
+		}
+	case "intrusion":
+		g := gen.NewIntrusion(gen.IntrusionConfig{Seed: seed})
+		x = g.Tensor
+	case "intrusion4d":
+		g := gen.NewIntrusion4D(gen.IntrusionConfig{Seed: seed}, 24)
+		x = g.Tensor
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	return tensor.WriteCOO(w, x)
+}
+
+func parseDims(s string) ([3]int64, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return [3]int64{}, fmt.Errorf("dims must be IxJxK, got %q", s)
+	}
+	var out [3]int64
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || v <= 0 {
+			return out, fmt.Errorf("bad dimension %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// printVocab emits the entity labels as comments so downstream analysis
+// can name the discovered concepts.
+func printVocab(w io.Writer, kb *gen.KB) error {
+	for i, s := range kb.Subjects {
+		if _, err := fmt.Fprintf(w, "# subject %d %s\n", i, s); err != nil {
+			return err
+		}
+	}
+	for i, s := range kb.Objects {
+		if _, err := fmt.Fprintf(w, "# object %d %s\n", i, s); err != nil {
+			return err
+		}
+	}
+	for i, s := range kb.Predicates {
+		if _, err := fmt.Fprintf(w, "# predicate %d %s\n", i, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("10x20x30")
+	if err != nil || d != [3]int64{10, 20, 30} {
+		t.Fatalf("parseDims: %v %v", d, err)
+	}
+	for _, bad := range []string{"10x20", "ax20x30", "0x20x30"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Fatalf("parseDims accepted %q", bad)
+		}
+	}
+}
+
+func TestRunKinds(t *testing.T) {
+	// run writes to stdout; we only check error paths and that the
+	// generators execute (output volume is tested in internal/gen).
+	for _, kind := range []string{"random", "freebase", "nell", "intrusion", "intrusion4d"} {
+		if err := run(io.Discard, kind, "20x20x20", 30, 1); err != nil {
+			t.Fatalf("kind %s: %v", kind, err)
+		}
+	}
+	if err := run(io.Discard, "bogus", "20x20x20", 30, 1); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if err := run(io.Discard, "random", "bad", 30, 1); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package haten2_test
+
+import (
+	"fmt"
+
+	haten2 "github.com/haten2/haten2"
+)
+
+// rank1Example builds the exactly rank-1 tensor x(i,j,k) = a(i)b(j)c(k)
+// used by the examples.
+func rank1Example() *haten2.Tensor {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 1}
+	c := []float64{1, 3}
+	x := haten2.NewTensor(3, 2, 2)
+	for i := int64(0); i < 3; i++ {
+		for j := int64(0); j < 2; j++ {
+			for k := int64(0); k < 2; k++ {
+				x.Append(a[i]*b[j]*c[k], i, j, k)
+			}
+		}
+	}
+	x.Coalesce()
+	return x
+}
+
+// ExampleParafac decomposes a rank-1 tensor and reports the fit.
+func ExampleParafac() {
+	x := rank1Example()
+	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: 4})
+	res, err := haten2.Parafac(cluster, x, 1, haten2.Options{
+		Variant:  haten2.DRI,
+		MaxIters: 20,
+		Seed:     1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("fit %.3f with %d component(s)\n", res.Fit(x), len(res.Lambda))
+	// Output:
+	// fit 1.000 with 1 component(s)
+}
+
+// ExampleTucker compresses the same tensor into a 1×1×1 core.
+func ExampleTucker() {
+	x := rank1Example()
+	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: 4})
+	res, err := haten2.Tucker(cluster, x, [3]int{1, 1, 1}, haten2.Options{
+		Variant:  haten2.DRI,
+		MaxIters: 10,
+		Seed:     1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	p, q, r := res.Core.Dims()
+	fmt.Printf("core %dx%dx%d, fit %.3f\n", p, q, r, res.Fit(x))
+	// Output:
+	// core 1x1x1, fit 1.000
+}
+
+// ExampleCluster_Stats shows the cost accounting every decomposition
+// leaves behind.
+func ExampleCluster_Stats() {
+	x := rank1Example()
+	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: 4})
+	if _, err := haten2.Parafac(cluster, x, 1, haten2.Options{Variant: haten2.DRI, MaxIters: 2, Seed: 1}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st := cluster.Stats()
+	// DRI runs exactly 2 jobs per mode update: 3 modes × 2 iterations.
+	fmt.Printf("%d jobs\n", st.Jobs)
+	// Output:
+	// 12 jobs
+}
+
+// ExampleParseVariant converts plan names from configuration strings.
+func ExampleParseVariant() {
+	v, err := haten2.ParseVariant("DRI")
+	fmt.Println(v, err)
+	_, err = haten2.ParseVariant("unknown")
+	fmt.Println(err != nil)
+	// Output:
+	// DRI <nil>
+	// true
+}
+
+// ExampleVariant_String lists the four job plans of Table II.
+func ExampleVariant_String() {
+	for _, v := range []haten2.Variant{haten2.Naive, haten2.DNN, haten2.DRN, haten2.DRI} {
+		fmt.Println(v)
+	}
+	// Output:
+	// Naive
+	// DNN
+	// DRN
+	// DRI
+}

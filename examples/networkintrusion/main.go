@@ -1,0 +1,113 @@
+// Network-intrusion analysis: the paper's motivating introduction
+// example. Connection logs (source-ip, target-ip, port) are decomposed
+// with nonnegative PARAFAC; one component captures the benign traffic on
+// common service ports, and another isolates the planted port scan —
+// its source factor concentrates on the attacker IPs.
+//
+// Run with:
+//
+//	go run ./examples/networkintrusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	haten2 "github.com/haten2/haten2"
+	"github.com/haten2/haten2/internal/gen"
+)
+
+func main() {
+	logs := gen.NewIntrusion(gen.IntrusionConfig{
+		Seed:        5,
+		Sources:     60,
+		Targets:     60,
+		Ports:       40,
+		Background:  800,
+		ScanSources: 3,
+		ScanTargets: 12,
+		ScanPorts:   15,
+	})
+	x := haten2.WrapTensor(logs.Tensor)
+	i, j, k := x.Dims()
+	fmt.Printf("connection log: %d sources × %d targets × %d ports, %d distinct flows\n",
+		i, j, k, x.NNZ())
+	fmt.Printf("planted attackers: %v\n\n", labels(logs, "source", logs.ScanSources))
+
+	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: 10})
+	const rank = 2
+	res, err := haten2.NonnegativeParafac(cluster, x, rank, haten2.Options{
+		Variant: haten2.DRI, MaxIters: 60, Seed: 4, TrackFit: true, Tol: 1e-8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nonnegative PARAFAC rank %d: fit %.3f after %d iterations\n\n", rank, res.Fit(x), res.Iters)
+
+	// Score each component by how many distinct ports it loads on: the
+	// scan component spreads across many ports, benign traffic on few.
+	scanComp := 0
+	bestSpread := -1.0
+	for r := 0; r < rank; r++ {
+		spread := entropyish(res.Factors[2].Col(r))
+		fmt.Printf("component %d port-spread score %.2f\n", r+1, spread)
+		if spread > bestSpread {
+			bestSpread, scanComp = spread, r
+		}
+	}
+
+	fmt.Printf("\ncomponent %d flagged as the scan; top sources by factor weight:\n", scanComp+1)
+	top := topK(res.Factors[0].Col(scanComp), 5)
+	hits := 0
+	planted := map[int64]bool{}
+	for _, s := range logs.ScanSources {
+		planted[s] = true
+	}
+	for _, idx := range top {
+		tag := ""
+		if planted[idx] {
+			tag = "  <-- planted attacker"
+			hits++
+		}
+		fmt.Printf("  %s%s\n", logs.Label("source", idx), tag)
+	}
+	fmt.Printf("\nrecovered %d of %d planted attackers in the top %d\n", hits, len(logs.ScanSources), len(top))
+	if hits < len(logs.ScanSources) {
+		fmt.Println("(increase iterations or rank to sharpen the separation)")
+	}
+}
+
+func labels(g *gen.Intrusion, kind string, ids []int64) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Label(kind, id)
+	}
+	return out
+}
+
+// entropyish counts the effective number of active entries in a
+// nonnegative vector (participation ratio).
+func entropyish(v []float64) float64 {
+	var s1, s2 float64
+	for _, x := range v {
+		s1 += x
+		s2 += x * x
+	}
+	if s2 == 0 {
+		return 0
+	}
+	return s1 * s1 / s2
+}
+
+func topK(v []float64, k int) []int64 {
+	idx := make([]int64, len(v))
+	for i := range idx {
+		idx[i] = int64(i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,89 @@
+// Quickstart: build a small sparse tensor, decompose it with PARAFAC
+// and Tucker on a simulated 10-machine cluster, and inspect the results.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	haten2 "github.com/haten2/haten2"
+)
+
+func main() {
+	// Build a 100×80×60 tensor that is exactly rank 2: two sparse
+	// "communities", each the outer product of three sparse loading
+	// vectors — the structure tensor decompositions exist to find.
+	rng := rand.New(rand.NewSource(1))
+	a := [2][]float64{sparseVec(rng, 100, 12), sparseVec(rng, 100, 12)}
+	b := [2][]float64{sparseVec(rng, 80, 12), sparseVec(rng, 80, 12)}
+	c := [2][]float64{sparseVec(rng, 60, 10), sparseVec(rng, 60, 10)}
+	weights := []float64{5, 3}
+	x := haten2.NewTensor(100, 80, 60)
+	for i := int64(0); i < 100; i++ {
+		for j := int64(0); j < 80; j++ {
+			for k := int64(0); k < 60; k++ {
+				var v float64
+				for r := 0; r < 2; r++ {
+					v += weights[r] * a[r][i] * b[r][j] * c[r][k]
+				}
+				if v != 0 {
+					x.Append(v, i, j, k)
+				}
+			}
+		}
+	}
+	x.Coalesce()
+	fmt.Printf("input: 100x80x60 tensor with %d nonzeros\n\n", x.NNZ())
+
+	// A simulated 10-machine cluster. All of the paper's job plans are
+	// available; DRI is the recommended one.
+	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: 10})
+
+	// PARAFAC: factor the tensor into rank-2 components.
+	pres, err := haten2.Parafac(cluster, x, 2, haten2.Options{
+		Variant:  haten2.DRI,
+		MaxIters: 30,
+		Seed:     7,
+		TrackFit: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PARAFAC rank 2: fit %.4f after %d iterations\n", pres.Fit(x), pres.Iters)
+	fmt.Printf("component weights λ = %.3g, %.3g\n", pres.Lambda[0], pres.Lambda[1])
+	fmt.Printf("factor A is %dx%d\n\n", pres.Factors[0].Rows(), pres.Factors[0].Cols())
+
+	// Tucker: compress into a 3×3×3 core.
+	tres, err := haten2.Tucker(cluster, x, [3]int{3, 3, 3}, haten2.Options{
+		Variant:  haten2.DRI,
+		MaxIters: 20,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Tucker 3x3x3: fit %.4f, core norm %.3f\n\n", tres.Fit(x), tres.Core.Norm())
+
+	// The cluster accounted for every job the two decompositions ran.
+	st := cluster.Stats()
+	fmt.Printf("cluster totals: %d MapReduce jobs, %d records shuffled, %.0fs simulated\n",
+		st.Jobs, st.ShuffleRecords, st.SimSeconds)
+}
+
+// sparseVec returns a length-n vector with k random positive entries.
+func sparseVec(rng *rand.Rand, n, k int) []float64 {
+	v := make([]float64, n)
+	for placed := 0; placed < k; {
+		i := rng.Intn(n)
+		if v[i] == 0 {
+			v[i] = 0.5 + rng.Float64()
+			placed++
+		}
+	}
+	return v
+}

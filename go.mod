@@ -1,0 +1,3 @@
+module github.com/haten2/haten2
+
+go 1.22

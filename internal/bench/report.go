@@ -1,0 +1,111 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section IV) on the simulated cluster: the cost summaries
+// (Tables III, IV), the dataset summary (Table V), the data-scalability
+// figures (1a–c for Tucker, 7a–c for PARAFAC), machine scalability
+// (Figure 8), and the discovery tables on the knowledge-base stand-in
+// (Tables VI–VIII). Each experiment returns a Report that prints the
+// same rows/series the paper shows.
+//
+// Absolute numbers come from the simulator's calibrated cost model and
+// therefore do not match the paper's testbed; the shapes — which method
+// wins, where each fails, how speedup flattens — are the reproduction
+// target (see EXPERIMENTS.md).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the experiment identifier ("table3", "fig1a", ...).
+	ID string
+	// Title describes the experiment as the paper captions it.
+	Title string
+	// Headers labels the columns.
+	Headers []string
+	// Rows holds the data; "o.o.m" marks resource-exhausted points just
+	// as the paper's figures do.
+	Rows [][]string
+	// Notes carries observations the harness verified (orderings,
+	// crossovers) for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", width, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(r.Headers)
+	sep := make([]string, len(r.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Config controls the experiment scale.
+type Config struct {
+	// Full enlarges the sweeps (minutes instead of seconds).
+	Full bool
+	// Seed drives all data generation.
+	Seed int64
+}
+
+// seconds renders a simulated duration with adaptive precision.
+func seconds(s float64) string {
+	switch {
+	case s < 0.1:
+		return fmt.Sprintf("%.3fs", s)
+	case s < 10:
+		return fmt.Sprintf("%.2fs", s)
+	default:
+		return fmt.Sprintf("%.1fs", s)
+	}
+}
+
+// count renders an integer cell.
+func count[T ~int | ~int64](n T) string { return fmt.Sprintf("%d", int64(n)) }
+
+// JSON renders the report as a machine-readable object (used by
+// haten2bench -json for downstream plotting).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{r.ID, r.Title, r.Headers, r.Rows, r.Notes}, "", "  ")
+}

@@ -1,0 +1,543 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/haten2/haten2/internal/baseline"
+	"github.com/haten2/haten2/internal/core"
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// Experiment scale constants. The paper runs dims 10³–10⁸ on 40
+// machines; the in-process sweeps are scaled so the largest real shuffle
+// stays in the low millions of records, and the cluster's shuffle cap
+// and the Toolbox's memory budget are scaled alongside so every failure
+// boundary (o.o.m point) falls inside the sweep, preserving the figures'
+// shapes.
+const (
+	shuffleCap     = 3_000_000  // records per job before "o.o.m" (quick sweeps)
+	shuffleCapFull = 10_000_000 // the -full sweeps reach one decade further
+	toolboxBudget  = 4 << 20    // bytes of single-machine RAM
+	benchMachines  = 40         // the paper's cluster size
+)
+
+// oom is the cell the paper's figures use for failed runs.
+const oom = "o.o.m"
+
+// newBenchCluster builds the simulated 40-machine cluster. The shuffle
+// cap scales with the sweep size so the failure boundaries stay inside
+// the axes in both modes.
+func newBenchCluster(machines int) *mr.Cluster {
+	return newBenchClusterCfg(Config{}, machines)
+}
+
+func newBenchClusterCfg(cfg Config, machines int) *mr.Cluster {
+	cap := int64(shuffleCap)
+	if cfg.Full {
+		cap = shuffleCapFull
+	}
+	return mr.NewCluster(mr.Config{
+		Machines:          machines,
+		SlotsPerMachine:   4,
+		MaxShuffleRecords: cap,
+	})
+}
+
+// runTucker runs one Tucker-ALS iteration with the given variant and
+// returns the simulated seconds, or ok=false on resource exhaustion.
+func runTucker(cfg Config, x *tensor.Tensor, coreDim int, v core.Variant, machines int) (sim float64, ok bool, err error) {
+	c := newBenchClusterCfg(cfg, machines)
+	_, err = core.TuckerALS(c, x, [3]int{coreDim, coreDim, coreDim},
+		core.Options{Variant: v, MaxIters: 1, Seed: 7})
+	var re *mr.ErrResourceExhausted
+	if errors.As(err, &re) {
+		return c.Totals().SimSeconds, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return c.Totals().SimSeconds, true, nil
+}
+
+// runParafac is runTucker's PARAFAC counterpart.
+func runParafac(cfg Config, x *tensor.Tensor, rank int, v core.Variant, machines int) (sim float64, ok bool, err error) {
+	c := newBenchClusterCfg(cfg, machines)
+	_, err = core.ParafacALS(c, x, rank, core.Options{Variant: v, MaxIters: 1, Seed: 7})
+	var re *mr.ErrResourceExhausted
+	if errors.As(err, &re) {
+		return c.Totals().SimSeconds, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return c.Totals().SimSeconds, true, nil
+}
+
+// runToolboxTucker runs the single-machine baseline, reporting modeled
+// seconds or o.o.m.
+func runToolboxTucker(x *tensor.Tensor, coreDim int) (sim float64, ok bool, err error) {
+	tb := baseline.New(baseline.Config{MemoryBudget: toolboxBudget})
+	res, err := tb.TuckerALS(x, [3]int{coreDim, coreDim, coreDim}, baseline.Options{MaxIters: 1, Seed: 7})
+	var oomErr *baseline.ErrOutOfMemory
+	if errors.As(err, &oomErr) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return res.ModeledSeconds, true, nil
+}
+
+func runToolboxParafac(x *tensor.Tensor, rank int) (sim float64, ok bool, err error) {
+	tb := baseline.New(baseline.Config{MemoryBudget: toolboxBudget})
+	res, err := tb.ParafacALS(x, rank, baseline.Options{MaxIters: 1, Seed: 7})
+	var oomErr *baseline.ErrOutOfMemory
+	if errors.As(err, &oomErr) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return res.ModeledSeconds, true, nil
+}
+
+// methodCell renders a (time, ok) pair.
+func methodCell(sim float64, ok bool) string {
+	if !ok {
+		return oom
+	}
+	return seconds(sim)
+}
+
+// dimSweep returns the Fig 1(a)/7(a) x-axis.
+func dimSweep(cfg Config) []int64 {
+	if cfg.Full {
+		return []int64{40, 200, 1000, 5000, 20000, 50000}
+	}
+	return []int64{40, 200, 1000, 5000, 20000}
+}
+
+// Fig1a regenerates Figure 1(a): Tucker running time vs. dimensionality
+// I=J=K with nnz = 10·I and a 5³ core (the paper's 10³ core scaled with
+// the sweep), comparing the Tensor Toolbox and all HaTen2 variants.
+func Fig1a(cfg Config) (*Report, error) {
+	return figDataScalability(cfg, "fig1a",
+		"Tucker: time vs dimensionality (nnz = 10·I, core 5³)", true)
+}
+
+// Fig7a regenerates Figure 7(a), the PARAFAC counterpart (rank 5).
+func Fig7a(cfg Config) (*Report, error) {
+	return figDataScalability(cfg, "fig7a",
+		"PARAFAC: time vs dimensionality (nnz = 10·I, rank 5)", false)
+}
+
+func figDataScalability(cfg Config, id, title string, tucker bool) (*Report, error) {
+	const k = 5 // core dim / rank
+	rep := &Report{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"I=J=K", "nnz", "Toolbox", "Naive", "DNN", "DRN", "DRI"},
+	}
+	type outcome struct {
+		lastOK int64
+	}
+	last := map[string]*outcome{}
+	for _, m := range rep.Headers[2:] {
+		last[m] = &outcome{lastOK: -1}
+	}
+	for _, dim := range dimSweep(cfg) {
+		x := gen.Random(cfg.Seed+dim, [3]int64{dim, dim, dim}, int(dim*10))
+		row := []string{count(dim), count(x.NNZ())}
+		var sim float64
+		var ok bool
+		var err error
+		if tucker {
+			sim, ok, err = runToolboxTucker(x, k)
+		} else {
+			sim, ok, err = runToolboxParafac(x, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, methodCell(sim, ok))
+		if ok {
+			last["Toolbox"].lastOK = dim
+		}
+		for _, v := range core.Variants {
+			if tucker {
+				sim, ok, err = runTucker(cfg, x, k, v, benchMachines)
+			} else {
+				sim, ok, err = runParafac(cfg, x, k, v, benchMachines)
+			}
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, methodCell(sim, ok))
+			if ok {
+				last[v.String()].lastOK = dim
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("largest completed I: Toolbox=%d Naive=%d DNN=%d DRN=%d DRI=%d",
+			last["Toolbox"].lastOK, last["Naive"].lastOK, last["DNN"].lastOK,
+			last["DRN"].lastOK, last["DRI"].lastOK))
+	if last["DRI"].lastOK >= last["DRN"].lastOK &&
+		last["DRN"].lastOK > last["DNN"].lastOK &&
+		last["DNN"].lastOK > last["Naive"].lastOK &&
+		last["DRI"].lastOK > last["Toolbox"].lastOK {
+		rep.Notes = append(rep.Notes, "failure ordering matches the paper: Naive < DNN < DRN ≤ DRI, Toolbox < DRI")
+	}
+	return rep, nil
+}
+
+// densitySweep returns the Fig 1(b)/7(b) x-axis.
+func densitySweep(cfg Config) []float64 {
+	if cfg.Full {
+		return []float64{1e-5, 1e-4, 1e-3, 1e-2, 3e-2}
+	}
+	return []float64{1e-5, 1e-4, 1e-3, 1e-2}
+}
+
+// Fig1b regenerates Figure 1(b): Tucker running time vs. density at
+// fixed dimensionality. Naive is omitted, as in the paper ("HATEN2-Naive
+// cannot process even a 10⁴ scale tensor").
+func Fig1b(cfg Config) (*Report, error) {
+	return figDensity(cfg, "fig1b", "Tucker: time vs density (I=J=K=300, core 5³)", true)
+}
+
+// Fig7b regenerates Figure 7(b), the PARAFAC counterpart.
+func Fig7b(cfg Config) (*Report, error) {
+	return figDensity(cfg, "fig7b", "PARAFAC: time vs density (I=J=K=300, rank 5)", false)
+}
+
+func figDensity(cfg Config, id, title string, tucker bool) (*Report, error) {
+	const dim = 300
+	const k = 5
+	rep := &Report{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"density", "nnz", "Toolbox", "DNN", "DRN", "DRI"},
+	}
+	lastDNN, lastDRI := -1.0, -1.0
+	for _, d := range densitySweep(cfg) {
+		x := gen.RandomWithDensity(cfg.Seed+int64(1/d), dim, d)
+		row := []string{fmt.Sprintf("%.0e", d), count(x.NNZ())}
+		var sim float64
+		var ok bool
+		var err error
+		if tucker {
+			sim, ok, err = runToolboxTucker(x, k)
+		} else {
+			sim, ok, err = runToolboxParafac(x, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, methodCell(sim, ok))
+		for _, v := range []core.Variant{core.DNN, core.DRN, core.DRI} {
+			if tucker {
+				sim, ok, err = runTucker(cfg, x, k, v, benchMachines)
+			} else {
+				sim, ok, err = runParafac(cfg, x, k, v, benchMachines)
+			}
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, methodCell(sim, ok))
+			if ok && v == core.DNN {
+				lastDNN = d
+			}
+			if ok && v == core.DRI {
+				lastDRI = d
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	if lastDRI > lastDNN {
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("DRI analyzes denser data than DNN (DNN up to %.0e, DRI up to %.0e), matching the paper's 10× claim", lastDNN, lastDRI))
+	}
+	return rep, nil
+}
+
+// coreSweep returns the Fig 1(c)/7(c) x-axis (the paper uses 10–80).
+func coreSweep(cfg Config) []int {
+	if cfg.Full {
+		return []int{2, 4, 8, 16, 24}
+	}
+	return []int{2, 4, 8, 16}
+}
+
+// Fig1c regenerates Figure 1(c): Tucker running time vs. core size.
+func Fig1c(cfg Config) (*Report, error) {
+	return figCore(cfg, "fig1c", "Tucker: time vs core size (I=J=K=300, nnz=3000)", true)
+}
+
+// Fig7c regenerates Figure 7(c): PARAFAC running time vs. rank.
+func Fig7c(cfg Config) (*Report, error) {
+	return figCore(cfg, "fig7c", "PARAFAC: time vs rank (I=J=K=300, nnz=3000)", false)
+}
+
+func figCore(cfg Config, id, title string, tucker bool) (*Report, error) {
+	x := gen.Random(cfg.Seed+99, [3]int64{300, 300, 300}, 3000)
+	rep := &Report{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"core/rank", "Toolbox", "DNN", "DRN", "DRI"},
+	}
+	bestAtMax := ""
+	var bestTime float64
+	for _, k := range coreSweep(cfg) {
+		row := []string{count(k)}
+		var sim float64
+		var ok bool
+		var err error
+		if tucker {
+			sim, ok, err = runToolboxTucker(x, k)
+		} else {
+			sim, ok, err = runToolboxParafac(x, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, methodCell(sim, ok))
+		for _, v := range []core.Variant{core.DNN, core.DRN, core.DRI} {
+			if tucker {
+				sim, ok, err = runTucker(cfg, x, k, v, benchMachines)
+			} else {
+				sim, ok, err = runParafac(cfg, x, k, v, benchMachines)
+			}
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, methodCell(sim, ok))
+			if k == coreSweep(cfg)[len(coreSweep(cfg))-1] && ok {
+				if bestAtMax == "" || sim < bestTime {
+					bestAtMax, bestTime = v.String(), sim
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("fastest HaTen2 variant at the largest core: %s", bestAtMax))
+	return rep, nil
+}
+
+// Fig8 regenerates Figure 8: machine scalability of DRI on the NELL
+// workload (26M×26M×48M, 144M nnz). The job plan is executed for real
+// on a scaled NELL stand-in to measure its per-job record and byte
+// counters; those counters — which grow linearly in nnz for the DRI
+// plan — are then scaled to the paper's nnz and priced by the cost
+// model at each machine count. Reported is the scale-up T10/TM.
+func Fig8(cfg Config) (*Report, error) {
+	dims := [3]int64{13000, 13000, 24000}
+	nnz := 72000
+	const paperNNZ = 144_000_000
+	if cfg.Full {
+		dims = [3]int64{26000, 26000, 48000}
+		nnz = 144000
+	}
+	scale := float64(paperNNZ) / float64(nnz)
+	x := gen.Random(cfg.Seed+8, dims, nnz)
+
+	// timeAt executes one DRI iteration for real, then prices the
+	// nnz-scaled job log on m machines.
+	timeAt := func(tucker bool, m int) (float64, error) {
+		c := newBenchCluster(m)
+		var err error
+		if tucker {
+			_, err = core.TuckerALS(c, x, [3]int{5, 5, 5}, core.Options{Variant: core.DRI, MaxIters: 1, Seed: 7})
+		} else {
+			_, err = core.ParafacALS(c, x, 5, core.Options{Variant: core.DRI, MaxIters: 1, Seed: 7})
+		}
+		if err != nil {
+			return 0, fmt.Errorf("bench: fig8 at M=%d: %w", m, err)
+		}
+		cost := mr.DefaultCostModel()
+		var total float64
+		for _, job := range c.Jobs() {
+			scaled := mr.JobStats{
+				InputRecords:   int64(float64(job.InputRecords) * scale),
+				InputBytes:     int64(float64(job.InputBytes) * scale),
+				ShuffleRecords: int64(float64(job.ShuffleRecords) * scale),
+				ShuffleBytes:   int64(float64(job.ShuffleBytes) * scale),
+				OutputRecords:  int64(float64(job.OutputRecords) * scale),
+				OutputBytes:    int64(float64(job.OutputBytes) * scale),
+			}
+			total += cost.JobTime(m, scaled)
+		}
+		return total, nil
+	}
+
+	rep := &Report{
+		ID:      "fig8",
+		Title:   "Machine scalability of HaTen2-DRI (NELL workload): scale-up T10/TM",
+		Headers: []string{"machines", "Tucker T_M", "Tucker T10/TM", "PARAFAC T_M", "PARAFAC T10/TM"},
+	}
+	machines := []int{10, 20, 30, 40}
+	var t10Tucker, t10Parafac float64
+	var scaleups []float64
+	for _, m := range machines {
+		simT, err := timeAt(true, m)
+		if err != nil {
+			return nil, err
+		}
+		simP, err := timeAt(false, m)
+		if err != nil {
+			return nil, err
+		}
+		if m == 10 {
+			t10Tucker, t10Parafac = simT, simP
+		}
+		su := t10Tucker / simT
+		scaleups = append(scaleups, su)
+		rep.Rows = append(rep.Rows, []string{
+			count(m), seconds(simT), fmt.Sprintf("%.2f", su),
+			seconds(simP), fmt.Sprintf("%.2f", t10Parafac/simP),
+		})
+	}
+	// Verify the paper's shape: monotone increase that flattens.
+	monotone := true
+	for i := 1; i < len(scaleups); i++ {
+		if scaleups[i] < scaleups[i-1]-1e-9 {
+			monotone = false
+		}
+	}
+	gainEarly := scaleups[1] - scaleups[0]
+	gainLate := scaleups[len(scaleups)-1] - scaleups[len(scaleups)-2]
+	if monotone && gainLate < gainEarly {
+		rep.Notes = append(rep.Notes, "speedup grows monotonically and flattens with more machines, matching Fig. 8")
+	}
+	return rep, nil
+}
+
+// Ablation isolates the contribution of each of the paper's three ideas
+// (decoupling, dependency removal, job integration) by comparing
+// consecutive variants on one fixed workload — the design-choice benches
+// DESIGN.md calls out.
+func Ablation(cfg Config) (*Report, error) {
+	x := gen.Random(cfg.Seed+77, [3]int64{1000, 1000, 1000}, 10000)
+	rep := &Report{
+		ID:      "ablation",
+		Title:   "Per-idea ablation on a fixed workload (Tucker, core 5³, one iteration)",
+		Headers: []string{"variant", "jobs", "max shuffle records", "DFS bytes read", "sim time"},
+	}
+	type point struct {
+		jobs int
+		sim  float64
+	}
+	var pts []point
+	for _, v := range core.Variants {
+		c := newBenchCluster(benchMachines)
+		s, err := core.Stage(c, "X", x)
+		if err != nil {
+			return nil, err
+		}
+		u1 := matrix.Random(1000, 5, randFor(cfg.Seed))
+		u2 := matrix.Random(1000, 5, randFor(cfg.Seed+1))
+		c.FS().ResetStats()
+		if _, err := core.TuckerContract(s, 0, u1, u2, v); err != nil {
+			rep.Rows = append(rep.Rows, []string{v.String(), oom, oom, oom, oom})
+			continue
+		}
+		t := c.Totals()
+		rep.Rows = append(rep.Rows, []string{
+			v.String(), count(t.Jobs), count(t.MaxShuffleRecords),
+			count(c.FS().Stats().BytesRead), seconds(t.SimSeconds),
+		})
+		pts = append(pts, point{t.Jobs, t.SimSeconds})
+	}
+	if n := len(pts); n >= 2 && pts[n-1].sim < pts[0].sim {
+		rep.Notes = append(rep.Notes, "each added idea reduces simulated time on this workload")
+	}
+	return rep, nil
+}
+
+// CombinerAblation measures what a Hadoop combiner would buy on a
+// Collapse-style aggregation (the DNN merge step): map tasks pre-sum
+// records sharing a (fiber, column) key before the shuffle. The paper's
+// implementation does not use combiners (Tables III/IV are reproduced
+// without them); this experiment quantifies the headroom.
+func CombinerAblation(cfg Config) (*Report, error) {
+	// A collapse workload: nnz·Q Hadamard records, with duplication per
+	// fiber key coming from the contracted mode.
+	x := gen.Random(cfg.Seed+55, [3]int64{200, 50, 200}, 40000)
+	const q = 5
+	rep := &Report{
+		ID:      "combiner",
+		Title:   "Combiner ablation on a Collapse-style aggregation (extension)",
+		Headers: []string{"combiner", "shuffle records", "shuffle bytes", "sim time"},
+	}
+	type rec struct {
+		I, K int64
+		Col  int32
+		Val  float64
+	}
+	run := func(withCombiner bool) (mr.JobStats, error) {
+		c := newBenchCluster(benchMachines)
+		var items []rec
+		for p := 0; p < x.NNZ(); p++ {
+			idx := x.Index(p)
+			for col := int32(0); col < q; col++ {
+				items = append(items, rec{I: idx[0], K: idx[2], Col: col, Val: x.Value(p)})
+			}
+		}
+		if err := mr.WriteFile(c, "H", items, func(rec) int64 { return 36 }); err != nil {
+			return mr.JobStats{}, err
+		}
+		job := mr.Job[[3]int64, float64, float64]{
+			Name: "collapse-like",
+			Inputs: []mr.Input[[3]int64, float64]{{
+				File: "H",
+				Map: func(r any, emit func([3]int64, float64)) {
+					e := r.(rec)
+					emit([3]int64{e.I, e.K, int64(e.Col)}, e.Val)
+				},
+			}},
+			Reduce: func(k [3]int64, vs []float64, emit func(float64)) {
+				var s float64
+				for _, v := range vs {
+					s += v
+				}
+				emit(s)
+			},
+			Partition: mr.HashTriple,
+			KVSize:    func([3]int64, float64) int64 { return 32 },
+		}
+		if withCombiner {
+			job.Combine = func(k [3]int64, vs []float64) []float64 {
+				var s float64
+				for _, v := range vs {
+					s += v
+				}
+				return []float64{s}
+			}
+		}
+		_, st, err := mr.Run(c, job)
+		return st, err
+	}
+	var rows []mr.JobStats
+	for _, with := range []bool{false, true} {
+		st, err := run(with)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, st)
+		label := "no"
+		if with {
+			label = "yes"
+		}
+		rep.Rows = append(rep.Rows, []string{label, count(st.ShuffleRecords), count(st.ShuffleBytes), seconds(st.SimSeconds)})
+	}
+	if rows[1].ShuffleRecords < rows[0].ShuffleRecords {
+		saving := 1 - float64(rows[1].ShuffleRecords)/float64(rows[0].ShuffleRecords)
+		rep.Notes = append(rep.Notes, fmt.Sprintf("combiner removes %.0f%% of the shuffle on this workload", saving*100))
+	}
+	return rep, nil
+}

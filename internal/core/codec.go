@@ -1,0 +1,131 @@
+package core
+
+// Binary record encodings. The cluster simulator accounts DFS and
+// shuffle traffic using the *Bytes size constants in records.go; this
+// codec is the concrete on-disk format those constants describe
+// (little-endian fixed-width fields, the layout the Hadoop
+// implementation's Writables would use). The tests assert that every
+// encoded record's length equals its accounting constant, so the cost
+// model can never drift from the declared format.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeEntry appends the binary form of e to dst and returns the
+// extended slice. Encoded length is exactly entryBytes.
+func EncodeEntry(dst []byte, e Entry) []byte {
+	for _, c := range e.Idx {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(c))
+	}
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Val))
+}
+
+// DecodeEntry reads one Entry from the front of src, returning it and
+// the remaining bytes.
+func DecodeEntry(src []byte) (Entry, []byte, error) {
+	if len(src) < entryBytes {
+		return Entry{}, src, fmt.Errorf("core: short Entry: %d bytes", len(src))
+	}
+	var e Entry
+	for m := range e.Idx {
+		e.Idx[m] = int64(binary.LittleEndian.Uint64(src[m*8:]))
+	}
+	e.Val = math.Float64frombits(binary.LittleEndian.Uint64(src[24:]))
+	return e, src[entryBytes:], nil
+}
+
+// EncodeMatEntry appends the binary form of c (length matEntryBytes).
+func EncodeMatEntry(dst []byte, c MatEntry) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Row))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(c.Col))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Val))
+}
+
+// DecodeMatEntry reads one MatEntry from the front of src.
+func DecodeMatEntry(src []byte) (MatEntry, []byte, error) {
+	if len(src) < matEntryBytes {
+		return MatEntry{}, src, fmt.Errorf("core: short MatEntry: %d bytes", len(src))
+	}
+	c := MatEntry{
+		Row: int64(binary.LittleEndian.Uint64(src)),
+		Col: int32(binary.LittleEndian.Uint32(src[8:])),
+		Val: math.Float64frombits(binary.LittleEndian.Uint64(src[12:])),
+	}
+	return c, src[matEntryBytes:], nil
+}
+
+// EncodeHEntry appends the binary form of h (length hEntryBytes).
+func EncodeHEntry(dst []byte, h HEntry) []byte {
+	for _, c := range h.Idx {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(c))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Col))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(h.Val))
+}
+
+// DecodeHEntry reads one HEntry from the front of src.
+func DecodeHEntry(src []byte) (HEntry, []byte, error) {
+	if len(src) < hEntryBytes {
+		return HEntry{}, src, fmt.Errorf("core: short HEntry: %d bytes", len(src))
+	}
+	var h HEntry
+	for m := range h.Idx {
+		h.Idx[m] = int64(binary.LittleEndian.Uint64(src[m*8:]))
+	}
+	h.Col = int32(binary.LittleEndian.Uint32(src[24:]))
+	h.Val = math.Float64frombits(binary.LittleEndian.Uint64(src[28:]))
+	return h, src[hEntryBytes:], nil
+}
+
+// EncodeYEntry appends the binary form of y (length yEntryBytes).
+func EncodeYEntry(dst []byte, y YEntry) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(y.I))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(y.Q))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(y.R))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(y.Val))
+}
+
+// DecodeYEntry reads one YEntry from the front of src.
+func DecodeYEntry(src []byte) (YEntry, []byte, error) {
+	if len(src) < yEntryBytes {
+		return YEntry{}, src, fmt.Errorf("core: short YEntry: %d bytes", len(src))
+	}
+	y := YEntry{
+		I:   int64(binary.LittleEndian.Uint64(src)),
+		Q:   int32(binary.LittleEndian.Uint32(src[8:])),
+		R:   int32(binary.LittleEndian.Uint32(src[12:])),
+		Val: math.Float64frombits(binary.LittleEndian.Uint64(src[16:])),
+	}
+	return y, src[yEntryBytes:], nil
+}
+
+// EncodeTensorFile serializes a slice of entries back to back — the
+// block payload format the DFS accounting assumes.
+func EncodeTensorFile(entries []Entry) []byte {
+	out := make([]byte, 0, len(entries)*entryBytes)
+	for _, e := range entries {
+		out = EncodeEntry(out, e)
+	}
+	return out
+}
+
+// DecodeTensorFile parses a buffer written by EncodeTensorFile.
+func DecodeTensorFile(src []byte) ([]Entry, error) {
+	if len(src)%entryBytes != 0 {
+		return nil, fmt.Errorf("core: tensor file length %d is not a multiple of %d", len(src), entryBytes)
+	}
+	out := make([]Entry, 0, len(src)/entryBytes)
+	for len(src) > 0 {
+		var e Entry
+		var err error
+		e, src, err = DecodeEntry(src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

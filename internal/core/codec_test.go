@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEncodedSizesMatchAccountingConstants pins the cost model to the
+// concrete format: if a record struct grows, the accounting constant
+// must be updated with it.
+func TestEncodedSizesMatchAccountingConstants(t *testing.T) {
+	if got := len(EncodeEntry(nil, Entry{})); got != entryBytes {
+		t.Fatalf("Entry encodes to %d bytes, accounting says %d", got, entryBytes)
+	}
+	if got := len(EncodeMatEntry(nil, MatEntry{})); got != matEntryBytes {
+		t.Fatalf("MatEntry encodes to %d bytes, accounting says %d", got, matEntryBytes)
+	}
+	if got := len(EncodeHEntry(nil, HEntry{})); got != hEntryBytes {
+		t.Fatalf("HEntry encodes to %d bytes, accounting says %d", got, hEntryBytes)
+	}
+	if got := len(EncodeYEntry(nil, YEntry{})); got != yEntryBytes {
+		t.Fatalf("YEntry encodes to %d bytes, accounting says %d", got, yEntryBytes)
+	}
+}
+
+func TestQuickCodecRoundTrips(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(301))}
+	f := func(i, j, k int64, col int32, val float64) bool {
+		e := Entry{Idx: [3]int64{i, j, k}, Val: val}
+		e2, rest, err := DecodeEntry(EncodeEntry(nil, e))
+		if err != nil || len(rest) != 0 || e2 != e {
+			if !(math.IsNaN(val) && math.IsNaN(e2.Val)) {
+				return false
+			}
+		}
+		m := MatEntry{Row: i, Col: col, Val: val}
+		m2, _, err := DecodeMatEntry(EncodeMatEntry(nil, m))
+		if err != nil || (m2 != m && !math.IsNaN(val)) {
+			return false
+		}
+		h := HEntry{Idx: [3]int64{i, j, k}, Col: col, Val: val}
+		h2, _, err := DecodeHEntry(EncodeHEntry(nil, h))
+		if err != nil || (h2 != h && !math.IsNaN(val)) {
+			return false
+		}
+		y := YEntry{I: i, Q: col, R: col + 1, Val: val}
+		y2, _, err := DecodeYEntry(EncodeYEntry(nil, y))
+		if err != nil || (y2 != y && !math.IsNaN(val)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShortBuffers(t *testing.T) {
+	if _, _, err := DecodeEntry(make([]byte, entryBytes-1)); err == nil {
+		t.Fatal("short Entry accepted")
+	}
+	if _, _, err := DecodeMatEntry(make([]byte, matEntryBytes-1)); err == nil {
+		t.Fatal("short MatEntry accepted")
+	}
+	if _, _, err := DecodeHEntry(make([]byte, hEntryBytes-1)); err == nil {
+		t.Fatal("short HEntry accepted")
+	}
+	if _, _, err := DecodeYEntry(make([]byte, yEntryBytes-1)); err == nil {
+		t.Fatal("short YEntry accepted")
+	}
+}
+
+func TestTensorFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	entries := make([]Entry, 50)
+	for i := range entries {
+		entries[i] = Entry{
+			Idx: [3]int64{rng.Int63(), rng.Int63(), rng.Int63()},
+			Val: rng.NormFloat64(),
+		}
+	}
+	buf := EncodeTensorFile(entries)
+	if len(buf) != 50*entryBytes {
+		t.Fatalf("file length %d", len(buf))
+	}
+	back, err := DecodeTensorFile(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("%d entries back", len(back))
+	}
+	for i := range entries {
+		if back[i] != entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	// Truncated file rejected.
+	if _, err := DecodeTensorFile(buf[:len(buf)-3]); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+func testCluster() *mr.Cluster {
+	return mr.NewCluster(mr.Config{Machines: 4, SlotsPerMachine: 2})
+}
+
+func randomSparse(rng *rand.Rand, dims [3]int64, nnz int) *tensor.Tensor {
+	t := tensor.New(dims[0], dims[1], dims[2])
+	for e := 0; e < nnz; e++ {
+		t.Append(1+rng.Float64(), rng.Int63n(dims[0]), rng.Int63n(dims[1]), rng.Int63n(dims[2]))
+	}
+	t.Coalesce()
+	return t
+}
+
+// tuckerReference computes 𝒳 ×_{m1} U1ᵀ ×_{m2} U2ᵀ in memory.
+func tuckerReference(x *tensor.Tensor, n int, u1, u2 *matrix.Matrix) *tensor.Tensor {
+	m1, m2 := otherModes(n)
+	t := tensor.ModeMatrixProduct(x, m1, u1.T())
+	return tensor.ModeMatrixProduct(t, m2, u2.T())
+}
+
+// yEntriesToTensor assembles merge output into a 3-way tensor shaped
+// I_n×Q×R in the (n, m1, m2) mode positions for comparison with the
+// reference.
+func yEntriesToTensor(ys []YEntry, n int, dimN int64, q, r int) *tensor.Tensor {
+	m1, m2 := otherModes(n)
+	var dims [3]int64
+	dims[n], dims[m1], dims[m2] = dimN, int64(q), int64(r)
+	t := tensor.New(dims[0], dims[1], dims[2])
+	for _, y := range ys {
+		var idx [3]int64
+		idx[n], idx[m1], idx[m2] = y.I, int64(y.Q), int64(y.R)
+		t.Append(y.Val, idx[0], idx[1], idx[2])
+	}
+	t.Coalesce()
+	return t
+}
+
+func TestTuckerContractAllVariantsAllModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := randomSparse(rng, [3]int64{6, 5, 4}, 25)
+	c := testCluster()
+	s, err := Stage(c, "X", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		m1, m2 := otherModes(n)
+		u1 := matrix.Random(int(x.Dim(m1)), 3, rng)
+		u2 := matrix.Random(int(x.Dim(m2)), 2, rng)
+		want := tuckerReference(x, n, u1, u2)
+		for _, v := range Variants {
+			ys, err := TuckerContract(s, n, u1, u2, v)
+			if err != nil {
+				t.Fatalf("mode %d variant %v: %v", n, v, err)
+			}
+			got := yEntriesToTensor(ys, n, x.Dim(n), 3, 2)
+			if !tensor.Equal(got, want, 1e-9) {
+				t.Fatalf("mode %d variant %v: contraction mismatch", n, v)
+			}
+		}
+	}
+}
+
+func TestParafacContractAllVariantsAllModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x := randomSparse(rng, [3]int64{5, 6, 4}, 30)
+	c := testCluster()
+	s, err := Stage(c, "Xp", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rank = 3
+	factors := []*matrix.Matrix{
+		matrix.Random(5, rank, rng),
+		matrix.Random(6, rank, rng),
+		matrix.Random(4, rank, rng),
+	}
+	for n := 0; n < 3; n++ {
+		m1, m2 := otherModes(n)
+		want := tensor.MTTKRP(x, factors, n)
+		for _, v := range Variants {
+			got, err := ParafacContract(s, n, factors[m1], factors[m2], v)
+			if err != nil {
+				t.Fatalf("mode %d variant %v: %v", n, v, err)
+			}
+			if !got.Equal(want, 1e-9) {
+				t.Fatalf("mode %d variant %v: MTTKRP mismatch\ngot  %v\nwant %v", n, v, got, want)
+			}
+		}
+	}
+}
+
+func TestTuckerJobCountsMatchTableIII(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	x := randomSparse(rng, [3]int64{5, 5, 5}, 20)
+	q, r := 3, 2
+	for _, v := range Variants {
+		c := testCluster()
+		s, err := Stage(c, "X", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u1 := matrix.Random(5, q, rng)
+		u2 := matrix.Random(5, r, rng)
+		before := c.Totals().Jobs
+		if _, err := TuckerContract(s, 0, u1, u2, v); err != nil {
+			t.Fatal(err)
+		}
+		got := c.Totals().Jobs - before
+		if want := v.TuckerJobs(q, r); got != want {
+			t.Errorf("variant %v: %d jobs, Table III says %d", v, got, want)
+		}
+	}
+}
+
+func TestParafacJobCountsMatchTableIV(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	x := randomSparse(rng, [3]int64{5, 5, 5}, 20)
+	const rank = 3
+	for _, v := range Variants {
+		c := testCluster()
+		s, err := Stage(c, "X", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u1 := matrix.Random(5, rank, rng)
+		u2 := matrix.Random(5, rank, rng)
+		before := c.Totals().Jobs
+		if _, err := ParafacContract(s, 0, u1, u2, v); err != nil {
+			t.Fatal(err)
+		}
+		got := c.Totals().Jobs - before
+		if want := v.ParafacJobs(rank); got != want {
+			t.Errorf("variant %v: %d jobs, Table IV says %d", v, got, want)
+		}
+	}
+}
+
+func TestIntermediateDataOrdering(t *testing.T) {
+	// Table III's qualitative claim: Naive shuffles the most intermediate
+	// data, DNN less, DRN/DRI the least (for sparse tensors).
+	rng := rand.New(rand.NewSource(35))
+	x := randomSparse(rng, [3]int64{20, 20, 20}, 60)
+	q, r := 5, 5
+	max := map[Variant]int64{}
+	for _, v := range Variants {
+		c := testCluster()
+		s, err := Stage(c, "X", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u1 := matrix.Random(20, q, rng)
+		u2 := matrix.Random(20, r, rng)
+		if _, err := TuckerContract(s, 0, u1, u2, v); err != nil {
+			t.Fatal(err)
+		}
+		max[v] = c.Totals().MaxShuffleRecords
+	}
+	if !(max[Naive] > max[DNN] && max[DNN] > max[DRN]) {
+		t.Fatalf("intermediate-data ordering violated: %v", max)
+	}
+}
+
+func TestNaiveChargesBroadcast(t *testing.T) {
+	// The Naive plan must charge the nnz+IJK broadcast blow-up even
+	// though phantom records are not materialized.
+	rng := rand.New(rand.NewSource(36))
+	dims := [3]int64{30, 30, 30}
+	x := randomSparse(rng, dims, 10)
+	c := testCluster()
+	s, err := Stage(c, "X", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := matrix.Random(30, 1, rng)
+	u2 := matrix.Random(30, 1, rng)
+	if _, err := TuckerContract(s, 0, u1, u2, DRI); err != nil {
+		t.Fatal(err)
+	}
+	driMax := c.Totals().MaxShuffleRecords
+	c.ResetCounters()
+	if _, err := TuckerContract(s, 0, u1, u2, Naive); err != nil {
+		t.Fatal(err)
+	}
+	naiveMax := c.Totals().MaxShuffleRecords
+	// IJK = 27000 dominates nnz=10; the first broadcast job alone must
+	// charge at least I·K·nnz(b) = 900·30 records.
+	if naiveMax < 900*30 {
+		t.Fatalf("naive max shuffle %d does not reflect the broadcast", naiveMax)
+	}
+	if naiveMax <= driMax {
+		t.Fatalf("naive (%d) should dwarf DRI (%d)", naiveMax, driMax)
+	}
+}
+
+func TestResourceExhaustionKillsNaiveFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	dims := [3]int64{50, 50, 50}
+	x := randomSparse(rng, dims, 40)
+	cfg := mr.Config{Machines: 4, MaxShuffleRecords: 50_000}
+	c := mr.NewCluster(cfg)
+	s, err := Stage(c, "X", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := matrix.Random(50, 3, rng)
+	u2 := matrix.Random(50, 3, rng)
+	if _, err := TuckerContract(s, 0, u1, u2, Naive); err == nil {
+		t.Fatal("naive should exhaust a 50k-record cluster on a 50³ tensor (IJK=125000)")
+	}
+	if _, err := TuckerContract(s, 0, u1, u2, DRI); err != nil {
+		t.Fatalf("DRI should survive: %v", err)
+	}
+}
+
+func TestStageRejectsNon3Way(t *testing.T) {
+	c := testCluster()
+	x := tensor.New(2, 2)
+	x.Append(1, 0, 0)
+	if _, err := Stage(c, "X", x); err == nil {
+		t.Fatal("2-way tensor accepted")
+	}
+}
+
+func TestContractValidatesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	x := randomSparse(rng, [3]int64{4, 4, 4}, 10)
+	c := testCluster()
+	s, _ := Stage(c, "X", x)
+	bad := matrix.Random(7, 2, rng) // wrong row count
+	ok := matrix.Random(4, 2, rng)
+	if _, err := TuckerContract(s, 0, bad, ok, DRI); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := ParafacContract(s, 0, ok, matrix.Random(4, 3, rng), DRI); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+}
+
+func TestVariantStringAndParse(t *testing.T) {
+	for _, v := range Variants {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Fatalf("round trip failed for %v", v)
+		}
+	}
+	if _, err := ParseVariant("bogus"); err == nil {
+		t.Fatal("bogus variant parsed")
+	}
+	if Variant(99).String() == "" {
+		t.Fatal("unknown variant has empty string")
+	}
+}
+
+func TestFeaturesTableII(t *testing.T) {
+	f := Naive.Features()
+	if f.DecoupledSteps || f.RemovedDependency || f.IntegratedJobs || !f.Distributed {
+		t.Fatalf("Naive features %+v", f)
+	}
+	f = DRI.Features()
+	if !(f.DecoupledSteps && f.RemovedDependency && f.IntegratedJobs && f.Distributed) {
+		t.Fatalf("DRI features %+v", f)
+	}
+	if DRN.Features().IntegratedJobs {
+		t.Fatal("DRN should not integrate jobs")
+	}
+	if !DNN.Features().DecoupledSteps {
+		t.Fatal("DNN should decouple steps")
+	}
+}
+
+func TestAnalyticIntermediateFormulas(t *testing.T) {
+	nnz, i, j, k := int64(100), int64(10), int64(20), int64(30)
+	if got := Naive.TuckerIntermediate(nnz, i, j, k, 5, 6); got != 100+6000 {
+		t.Fatalf("naive tucker intermediate %d", got)
+	}
+	if got := DNN.TuckerIntermediate(nnz, i, j, k, 5, 6); got != 100*30 {
+		t.Fatalf("dnn tucker intermediate %d", got)
+	}
+	if got := DRI.TuckerIntermediate(nnz, i, j, k, 5, 6); got != 100*11 {
+		t.Fatalf("dri tucker intermediate %d", got)
+	}
+	if got := DNN.ParafacIntermediate(nnz, i, j, k, 5); got != 100+20 {
+		t.Fatalf("dnn parafac intermediate %d", got)
+	}
+	if got := DRN.ParafacIntermediate(nnz, i, j, k, 5); got != 1000 {
+		t.Fatalf("drn parafac intermediate %d", got)
+	}
+}
+
+// TestLemma1CrossMerge verifies Lemma 1 end to end on the MR path:
+// CrossMerge(𝒯′,𝒯″) with 𝒯′=𝒳∗₂bq, 𝒯″=bin(𝒳)∗₃cr equals 𝒳×₂Bᵀ×₃Cᵀ.
+func TestLemma1CrossMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	for trial := 0; trial < 5; trial++ {
+		x := randomSparse(rng, [3]int64{4, 5, 6}, 12+trial*3)
+		c := testCluster()
+		s, _ := Stage(c, "X", x)
+		u1 := matrix.Random(5, 2, rng)
+		u2 := matrix.Random(6, 3, rng)
+		ys, err := TuckerContract(s, 0, u1, u2, DRN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := yEntriesToTensor(ys, 0, 4, 2, 3)
+		want := tuckerReference(x, 0, u1, u2)
+		if !tensor.Equal(got, want, 1e-9) {
+			t.Fatalf("trial %d: Lemma 1 violated", trial)
+		}
+	}
+}
+
+// TestLemma2PairwiseMerge verifies Lemma 2 end to end on the MR path.
+func TestLemma2PairwiseMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 5; trial++ {
+		x := randomSparse(rng, [3]int64{4, 5, 6}, 12+trial*3)
+		c := testCluster()
+		s, _ := Stage(c, "X", x)
+		factors := []*matrix.Matrix{
+			matrix.Random(4, 2, rng),
+			matrix.Random(5, 2, rng),
+			matrix.Random(6, 2, rng),
+		}
+		got, err := ParafacContract(s, 0, factors[1], factors[2], DRN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tensor.MTTKRP(x, factors, 0)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: Lemma 2 violated", trial)
+		}
+	}
+}
+
+func TestDRIReadsInputOnce(t *testing.T) {
+	// §III-B4: DRI reads 𝒳 from the DFS once per contraction; DRN reads
+	// it Q+R times. Compare DFS read traffic attributable to the tensor.
+	rng := rand.New(rand.NewSource(41))
+	x := randomSparse(rng, [3]int64{10, 10, 10}, 50)
+	q, r := 4, 4
+
+	readBytes := func(v Variant) int64 {
+		c := testCluster()
+		s, _ := Stage(c, "X", x)
+		u1 := matrix.Random(10, q, rng)
+		u2 := matrix.Random(10, r, rng)
+		c.FS().ResetStats()
+		if _, err := TuckerContract(s, 0, u1, u2, v); err != nil {
+			t.Fatal(err)
+		}
+		return c.FS().Stats().BytesRead
+	}
+	dri := readBytes(DRI)
+	drn := readBytes(DRN)
+	if drn <= dri {
+		t.Fatalf("DRN should read more from DFS than DRI: drn=%d dri=%d", drn, dri)
+	}
+}
+
+func TestDeterministicContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := randomSparse(rng, [3]int64{6, 6, 6}, 30)
+	u1 := matrix.Random(6, 3, rng)
+	u2 := matrix.Random(6, 3, rng)
+	run := func(machines int) *matrix.Matrix {
+		c := mr.NewCluster(mr.Config{Machines: machines})
+		s, _ := Stage(c, "X", x)
+		m, err := ParafacContract(s, 0, u1, u2, DRI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// Same cluster size twice must be bit-identical.
+	if !run(2).Equal(run(2), 0) {
+		t.Fatal("same configuration not deterministic")
+	}
+	// Different split counts change float summation order; results must
+	// still agree to round-off.
+	a := run(2)
+	b := run(9)
+	if !a.Equal(b, 1e-9*math.Max(1, a.MaxAbs())) {
+		t.Fatal("results differ across cluster sizes beyond round-off")
+	}
+}

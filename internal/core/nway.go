@@ -1,0 +1,356 @@
+package core
+
+// N-way support. The paper defines PARAFAC, Tucker, and all five
+// operator definitions for N-way tensors (§II, Definitions 1–5) but
+// spells out the MapReduce jobs for the 3-way case only. This file
+// generalizes the recommended DRI plan (IMHP + merge) to order-4
+// tensors — the order of the paper's motivating example, (source-ip,
+// target-ip, port-number, timestamp) intrusion logs. The structure
+// extends mechanically to higher orders; 4 is the fixed record width
+// used for shuffle keys and coordinate matching.
+
+import (
+	"fmt"
+
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// maxOrder is the largest tensor order the distributed N-way plan
+// supports.
+const maxOrder = 4
+
+// NEntry is one nonzero of an order-N tensor (N ≤ maxOrder) staged on
+// the DFS; only the first N coordinates are meaningful.
+type NEntry struct {
+	Idx [maxOrder]int64
+	Val float64
+}
+
+// NHEntry is an N-way Hadamard intermediate: the original coordinate
+// plus the factor column index and which factor (side) produced it.
+type NHEntry struct {
+	Idx  [maxOrder]int64
+	Side int8 // 0-based position among the N-1 multiplied modes
+	Col  int32
+	Val  float64
+}
+
+// NYEntry is one entry of an N-way contraction result: the mode-n
+// coordinate plus one column index per multiplied mode.
+type NYEntry struct {
+	I    int64
+	Cols [maxOrder - 1]int32
+	Val  float64
+}
+
+const (
+	nEntryBytes  = maxOrder*8 + 8
+	nhEntryBytes = maxOrder*8 + 1 + 4 + 8
+	nyEntryBytes = 8 + (maxOrder-1)*4 + 8
+)
+
+// StagedN is an order-N tensor staged on a cluster's DFS.
+type StagedN struct {
+	Name    string
+	Dims    []int64
+	NNZ     int64
+	cluster *mr.Cluster
+}
+
+// StageN writes a coalesced tensor of order 3 or 4 to the cluster DFS.
+func StageN(c *mr.Cluster, name string, x *tensor.Tensor) (*StagedN, error) {
+	o := x.Order()
+	if o < 3 || o > maxOrder {
+		return nil, fmt.Errorf("core: StageN supports orders 3..%d, got %d", maxOrder, o)
+	}
+	x.Coalesce()
+	entries := make([]NEntry, x.NNZ())
+	for p := range entries {
+		idx := x.Index(p)
+		var e NEntry
+		copy(e.Idx[:], idx)
+		e.Val = x.Value(p)
+		entries[p] = e
+	}
+	if err := mr.WriteFile(c, name, entries, func(NEntry) int64 { return nEntryBytes }); err != nil {
+		return nil, err
+	}
+	return &StagedN{Name: name, Dims: x.Dims(), NNZ: int64(x.NNZ()), cluster: c}, nil
+}
+
+// nsval is the shuffle value of the N-way jobs.
+type nsval struct {
+	isMat bool
+	idx   [maxOrder]int64
+	col   int32
+	val   float64
+}
+
+func nsvalSize(_ [2]int64, v nsval) int64 {
+	if v.isMat {
+		return matEntryBytes
+	}
+	return nhEntryBytes
+}
+
+// imhpN is the N-way IMHP job: in a single pass over 𝒳 it computes
+// 𝒯⁽⁰⁾ = 𝒳 ∗_{m₀} U₀ᵀ and 𝒯⁽ˢ⁾ = bin(𝒳) ∗_{mₛ} Uₛᵀ for s ≥ 1, where
+// modes lists the N−1 modes being multiplied and matFiles their staged
+// factors. Results are written per side to outFiles.
+func imhpN(c *mr.Cluster, xFile string, modes []int, matFiles, outFiles []string) error {
+	inputs := []mr.Input[[2]int64, nsval]{{
+		File: xFile,
+		Map: func(rec any, emit func([2]int64, nsval)) {
+			e := rec.(NEntry)
+			for s, m := range modes {
+				v := e.Val
+				if s > 0 {
+					v = 1 // bin(𝒳) for all but the first side
+				}
+				emit([2]int64{int64(s), e.Idx[m]}, nsval{idx: e.Idx, val: v})
+			}
+		},
+	}}
+	for s, f := range matFiles {
+		side := int64(s)
+		inputs = append(inputs, mr.Input[[2]int64, nsval]{
+			File: f,
+			Map: func(rec any, emit func([2]int64, nsval)) {
+				cell := rec.(MatEntry)
+				emit([2]int64{side, cell.Row}, nsval{isMat: true, col: cell.Col, val: cell.Val})
+			},
+		})
+	}
+	out, _, err := mr.Run(c, mr.Job[[2]int64, nsval, NHEntry]{
+		Name:   fmt.Sprintf("imhpN(%s)", xFile),
+		Inputs: inputs,
+		Reduce: func(key [2]int64, vals []nsval, emit func(NHEntry)) {
+			side := int8(key[0])
+			var row []MatEntry
+			for _, v := range vals {
+				if v.isMat {
+					row = append(row, MatEntry{Col: v.col, Val: v.val})
+				}
+			}
+			for _, v := range vals {
+				if v.isMat {
+					continue
+				}
+				for _, cell := range row {
+					if cell.Val == 0 {
+						continue
+					}
+					emit(NHEntry{Idx: v.idx, Side: side, Col: cell.Col, Val: v.val * cell.Val})
+				}
+			}
+		},
+		Partition: mr.HashPair,
+		KVSize:    nsvalSize,
+		OutSize:   func(NHEntry) int64 { return nhEntryBytes },
+	})
+	if err != nil {
+		return err
+	}
+	// MultipleOutputs: one file per side.
+	bySide := make([][]NHEntry, len(modes))
+	for _, h := range out {
+		bySide[h.Side] = append(bySide[h.Side], h)
+	}
+	for s, f := range outFiles {
+		if err := mr.WriteFile(c, f, bySide[s], func(NHEntry) int64 { return nhEntryBytes }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crossMergeN is the N-way CrossMerge (Definition 3): reducers receive
+// every side's Hadamard records for one mode-n slice and cross all
+// column combinations:
+// 𝒴(i, q₀…q_{N-2}) = Σ_idx Π_s 𝒯⁽ˢ⁾(idx, q_s).
+func crossMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, error) {
+	// Files arrive one per side; the side index is packed into the high
+	// bits of the column (columns are ≤ 80 in the paper, far below the
+	// 16-bit boundary).
+	inputs := make([]mr.Input[[2]int64, nsval], len(files))
+	for s := range files {
+		side := int32(s)
+		f := files[s]
+		inputs[s] = mr.Input[[2]int64, nsval]{
+			File: f,
+			Map: func(rec any, emit func([2]int64, nsval)) {
+				h := rec.(NHEntry)
+				emit([2]int64{h.Idx[n], 0}, nsval{idx: h.Idx, col: side<<16 | h.Col, val: h.Val})
+			},
+		}
+	}
+	out, _, err := mr.Run(c, mr.Job[[2]int64, nsval, NYEntry]{
+		Name:   fmt.Sprintf("crossMergeN(mode=%d)", n),
+		Inputs: inputs,
+		Reduce: func(key [2]int64, vals []nsval, emit func(NYEntry)) {
+			type cv struct {
+				col int32
+				val float64
+			}
+			// Per original coordinate, per side: the (col, val) pairs.
+			bySide := make(map[[maxOrder]int64][][]cv)
+			for _, v := range vals {
+				side := int(v.col >> 16)
+				col := v.col & 0xffff
+				lists, ok := bySide[v.idx]
+				if !ok {
+					lists = make([][]cv, sides)
+				}
+				lists[side] = append(lists[side], cv{col, v.val})
+				bySide[v.idx] = lists
+			}
+			acc := make(map[[maxOrder - 1]int32]float64)
+			var cols [maxOrder - 1]int32
+			var walk func(idxLists [][]cv, s int, prod float64)
+			walk = func(idxLists [][]cv, s int, prod float64) {
+				if s == sides {
+					acc[cols] += prod
+					return
+				}
+				for _, e := range idxLists[s] {
+					cols[s] = e.col
+					walk(idxLists, s+1, prod*e.val)
+				}
+			}
+			for _, lists := range bySide {
+				complete := true
+				for s := 0; s < sides; s++ {
+					if len(lists[s]) == 0 {
+						complete = false
+						break
+					}
+				}
+				if complete {
+					walk(lists, 0, 1)
+				}
+			}
+			for qc, v := range acc {
+				if v != 0 {
+					emit(NYEntry{I: key[0], Cols: qc, Val: v})
+				}
+			}
+		},
+		Partition: mr.HashPair,
+		KVSize:    nsvalSize,
+		OutSize:   func(NYEntry) int64 { return nyEntryBytes },
+	})
+	return out, err
+}
+
+// pairwiseMergeN is the N-way PairwiseMerge (Definition 4): all sides
+// share the column index r, and reducers multiply one record per side
+// per coordinate: 𝒴(i, r) = Σ_idx Π_s 𝒯⁽ˢ⁾(idx, r).
+func pairwiseMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, error) {
+	inputs := make([]mr.Input[[2]int64, nsval], len(files))
+	for s := range files {
+		side := int8(s)
+		f := files[s]
+		inputs[s] = mr.Input[[2]int64, nsval]{
+			File: f,
+			Map: func(rec any, emit func([2]int64, nsval)) {
+				h := rec.(NHEntry)
+				emit([2]int64{h.Idx[n], int64(h.Col)}, nsval{idx: h.Idx, col: int32(side), val: h.Val})
+			},
+		}
+	}
+	out, _, err := mr.Run(c, mr.Job[[2]int64, nsval, NYEntry]{
+		Name:   fmt.Sprintf("pairwiseMergeN(mode=%d)", n),
+		Inputs: inputs,
+		Reduce: func(key [2]int64, vals []nsval, emit func(NYEntry)) {
+			prod := make(map[[maxOrder]int64][]float64)
+			for _, v := range vals {
+				p, ok := prod[v.idx]
+				if !ok {
+					p = make([]float64, sides)
+					prod[v.idx] = p
+				}
+				p[v.col] += v.val
+			}
+			var sum float64
+			for _, p := range prod {
+				term := 1.0
+				for s := 0; s < sides; s++ {
+					term *= p[s]
+				}
+				sum += term
+			}
+			if sum == 0 {
+				return
+			}
+			var cols [maxOrder - 1]int32
+			for s := 0; s < sides; s++ {
+				cols[s] = int32(key[1])
+			}
+			emit(NYEntry{I: key[0], Cols: cols, Val: sum})
+		},
+		Partition: mr.HashPair,
+		KVSize:    nsvalSize,
+		OutSize:   func(NYEntry) int64 { return nyEntryBytes },
+	})
+	return out, err
+}
+
+// otherModesN returns the modes ≠ n in ascending order.
+func otherModesN(order, n int) []int {
+	out := make([]int, 0, order-1)
+	for m := 0; m < order; m++ {
+		if m != n {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// contractN runs the DRI plan (IMHP + merge) for one mode update on an
+// N-way tensor. factors lists one matrix per multiplied mode, ordered
+// by ascending mode; pairwise selects PairwiseMerge (PARAFAC) over
+// CrossMerge (Tucker).
+func (s *StagedN) contractN(n int, factors []*matrix.Matrix, pairwise bool) ([]NYEntry, error) {
+	modes := otherModesN(len(s.Dims), n)
+	if len(factors) != len(modes) {
+		return nil, fmt.Errorf("core: contractN wants %d factors, got %d", len(modes), len(factors))
+	}
+	var matFiles, outFiles []string
+	var tmp []string
+	defer func() { s.cleanupN(tmp) }()
+	for i, f := range factors {
+		if int64(f.Rows) != s.Dims[modes[i]] {
+			return nil, fmt.Errorf("core: contractN factor %d has %d rows, mode %d has size %d", i, f.Rows, modes[i], s.Dims[modes[i]])
+		}
+		if f.Cols >= 1<<16 {
+			// The merge jobs pack the side index into the high bits of
+			// the column (the paper's ranks are ≤ 80).
+			return nil, fmt.Errorf("core: contractN supports at most %d columns per factor, got %d", 1<<16-1, f.Cols)
+		}
+		mf := tmpName(s.Name, fmt.Sprintf("U%d", i))
+		if err := stageMatrix(s.cluster, mf, f); err != nil {
+			return nil, err
+		}
+		matFiles = append(matFiles, mf)
+		of := tmpName(s.Name, fmt.Sprintf("T%d", i))
+		outFiles = append(outFiles, of)
+		tmp = append(tmp, mf, of)
+	}
+	if err := imhpN(s.cluster, s.Name, modes, matFiles, outFiles); err != nil {
+		return nil, err
+	}
+	if pairwise {
+		return pairwiseMergeN(s.cluster, outFiles, n, len(modes))
+	}
+	return crossMergeN(s.cluster, outFiles, n, len(modes))
+}
+
+func (s *StagedN) cleanupN(files []string) {
+	for _, f := range files {
+		if s.cluster.FS().Exists(f) {
+			_ = s.cluster.FS().Delete(f)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// Options configures an ALS decomposition run.
+type Options struct {
+	// Variant selects the job plan; the recommended method is DRI
+	// ("just HaTen2"). The zero value is Naive — callers almost always
+	// want to set this.
+	Variant Variant
+	// MaxIters bounds the outer ALS iterations (paper notation T).
+	// Zero means 20.
+	MaxIters int
+	// Tol is the convergence threshold: PARAFAC stops when the fit
+	// improves by less than Tol, Tucker when ‖𝒢‖ increases by less than
+	// Tol relatively (Algorithm 2 line 10). Zero means 1e-4.
+	Tol float64
+	// Seed makes the random factor initialization reproducible.
+	Seed int64
+	// TrackFit records the model fit after every iteration in the
+	// result. It costs one pass over the nonzeros per iteration and is
+	// required for fit-based early stopping in PARAFAC (without it,
+	// PARAFAC stops on component-weight stabilization instead).
+	TrackFit bool
+	// WarmStart, when non-nil, resumes iteration from a previous
+	// PARAFAC model instead of a random initialization — the pattern
+	// for continuing a long decomposition in a later session. The
+	// model's rank must match.
+	WarmStart *tensor.Kruskal
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 20
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-4
+	}
+	return o
+}
+
+// ParafacResult is the outcome of a PARAFAC-ALS run.
+type ParafacResult struct {
+	// Model holds λ and the unit-column factor matrices.
+	Model *tensor.Kruskal
+	// Iters is the number of completed outer iterations.
+	Iters int
+	// Fits holds the fit after each iteration when Options.TrackFit is
+	// set (fit = 1 − ‖𝒳−𝒳̂‖_F/‖𝒳‖_F).
+	Fits []float64
+	// Converged reports whether the Tol criterion stopped the run
+	// before MaxIters.
+	Converged bool
+}
+
+// ParafacALS runs the 3-way PARAFAC-ALS of Algorithm 1 with the
+// bottleneck 𝒳₍ₙ₎(C⊙B) computed on the cluster by the selected HaTen2
+// plan. The input tensor is staged to the cluster's DFS once; factor
+// matrices live in driver memory (they are I×R with small R) and are
+// staged per job, exactly as the Hadoop implementation keeps them on
+// HDFS between jobs.
+func ParafacALS(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*ParafacResult, error) {
+	if rank <= 0 {
+		return nil, fmt.Errorf("core: rank must be positive, got %d", rank)
+	}
+	opt = opt.withDefaults()
+	s, err := Stage(c, tmpName("parafac", "X"), x)
+	if err != nil {
+		return nil, err
+	}
+	defer s.cleanup([]string{s.Name})
+	return parafacALSStaged(s, x, rank, opt)
+}
+
+// parafacALSStaged runs ALS against an already-staged tensor. x is the
+// in-memory copy used only for fit evaluation.
+func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*ParafacResult, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	factors := make([]*matrix.Matrix, 3)
+	lambda := make([]float64, rank)
+	if ws := opt.WarmStart; ws != nil {
+		if ws.Rank() != rank || len(ws.Factors) != 3 {
+			return nil, fmt.Errorf("core: warm start has rank %d / %d factors, want rank %d / 3", ws.Rank(), len(ws.Factors), rank)
+		}
+		for m := 0; m < 3; m++ {
+			if int64(ws.Factors[m].Rows) != s.Dims[m] {
+				return nil, fmt.Errorf("core: warm-start factor %d has %d rows, tensor mode has %d", m, ws.Factors[m].Rows, s.Dims[m])
+			}
+			factors[m] = ws.Factors[m].Clone()
+		}
+		copy(lambda, ws.Lambda)
+		// Fold λ into the first factor so the sweep's renormalization
+		// starts from the same model.
+		factors[0].ScaleColumns(lambda)
+	} else {
+		for m := 0; m < 3; m++ {
+			factors[m] = matrix.Random(int(s.Dims[m]), rank, rng)
+		}
+		for r := range lambda {
+			lambda[r] = 1
+		}
+	}
+	res := &ParafacResult{}
+	prevFit := math.Inf(-1)
+	prevLambda := make([]float64, rank)
+	for it := 0; it < opt.MaxIters; it++ {
+		copy(prevLambda, lambda)
+		if err := parafacSweep(s, factors, lambda, rng, opt.Variant); err != nil {
+			return nil, err
+		}
+		res.Iters = it + 1
+		if !opt.TrackFit && it > 0 {
+			// Cheap convergence criterion when fit tracking is off:
+			// stop when the component weights stabilize.
+			maxRel := 0.0
+			for r := range lambda {
+				rel := math.Abs(lambda[r]-prevLambda[r]) / math.Max(1, math.Abs(lambda[r]))
+				if rel > maxRel {
+					maxRel = rel
+				}
+			}
+			if maxRel < opt.Tol {
+				res.Converged = true
+				break
+			}
+		}
+		if opt.TrackFit {
+			model := &tensor.Kruskal{Lambda: append([]float64(nil), lambda...), Factors: factors}
+			fit := model.Fit(x)
+			res.Fits = append(res.Fits, fit)
+			if fit-prevFit >= 0 && fit-prevFit < opt.Tol {
+				res.Converged = true
+				break
+			}
+			prevFit = fit
+		}
+	}
+	res.Model = &tensor.Kruskal{Lambda: lambda, Factors: factors}
+	return res, nil
+}
+
+// parafacSweep performs one outer ALS iteration (all three mode
+// updates, Algorithm 1 lines 3–8) in place on factors and lambda.
+func parafacSweep(s *Staged, factors []*matrix.Matrix, lambda []float64, rng *rand.Rand, variant Variant) error {
+	for n := 0; n < 3; n++ {
+		m1, m2 := otherModes(n)
+		// 𝒴 ← 𝒳₍ₙ₎ (A⁽ᵐ²⁾ ⊙ A⁽ᵐ¹⁾) on the cluster.
+		y, err := ParafacContract(s, n, factors[m1], factors[m2], variant)
+		if err != nil {
+			return err
+		}
+		// A⁽ⁿ⁾ ← 𝒴 (A⁽ᵐ²⁾ᵀA⁽ᵐ²⁾ ∗ A⁽ᵐ¹⁾ᵀA⁽ᵐ¹⁾)† locally: the Gram
+		// matrices are R×R.
+		gram := matrix.Hadamard(matrix.Gram(factors[m1]), matrix.Gram(factors[m2]))
+		a := matrix.Mul(y, matrix.PseudoInverse(gram))
+		norms := a.NormalizeColumns()
+		for r, nv := range norms {
+			if nv == 0 {
+				// A dead component: reinitialize its column so ALS can
+				// recover rather than propagate zeros.
+				for i := 0; i < a.Rows; i++ {
+					a.Set(i, r, rng.Float64())
+				}
+				a.NormalizeColumns()
+				nv = 1
+			}
+			lambda[r] = nv
+		}
+		factors[n] = a
+	}
+	return nil
+}

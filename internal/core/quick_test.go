@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+func qcfg(seed int64) *quick.Config {
+	return &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// TestQuickTuckerPlansMatchReference is the repository's central
+// property test: for random sparse tensors, random factor shapes, every
+// mode and every variant, the distributed contraction must equal the
+// in-memory n-mode product chain.
+func TestQuickTuckerPlansMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [3]int64{2 + rng.Int63n(5), 2 + rng.Int63n(5), 2 + rng.Int63n(5)}
+		x := randomSparse(rng, dims, 3+rng.Intn(20))
+		if x.NNZ() == 0 {
+			return true
+		}
+		n := rng.Intn(3)
+		m1, m2 := otherModes(n)
+		u1 := matrix.Random(int(dims[m1]), 1+rng.Intn(3), rng)
+		u2 := matrix.Random(int(dims[m2]), 1+rng.Intn(3), rng)
+		want := tuckerReference(x, n, u1, u2)
+		c := mr.NewCluster(mr.Config{Machines: 1 + rng.Intn(6)})
+		s, err := Stage(c, "X", x)
+		if err != nil {
+			return false
+		}
+		v := Variants[rng.Intn(len(Variants))]
+		ys, err := TuckerContract(s, n, u1, u2, v)
+		if err != nil {
+			return false
+		}
+		got := yEntriesToTensor(ys, n, dims[n], u1.Cols, u2.Cols)
+		return tensor.Equal(got, want, 1e-9)
+	}
+	if err := quick.Check(f, qcfg(101)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParafacPlansMatchMTTKRP is the PARAFAC counterpart (Lemma 2
+// across all variants).
+func TestQuickParafacPlansMatchMTTKRP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [3]int64{2 + rng.Int63n(5), 2 + rng.Int63n(5), 2 + rng.Int63n(5)}
+		x := randomSparse(rng, dims, 3+rng.Intn(20))
+		if x.NNZ() == 0 {
+			return true
+		}
+		rank := 1 + rng.Intn(3)
+		factors := []*matrix.Matrix{
+			matrix.Random(int(dims[0]), rank, rng),
+			matrix.Random(int(dims[1]), rank, rng),
+			matrix.Random(int(dims[2]), rank, rng),
+		}
+		n := rng.Intn(3)
+		m1, m2 := otherModes(n)
+		c := mr.NewCluster(mr.Config{Machines: 1 + rng.Intn(6)})
+		s, err := Stage(c, "X", x)
+		if err != nil {
+			return false
+		}
+		v := Variants[rng.Intn(len(Variants))]
+		got, err := ParafacContract(s, n, factors[m1], factors[m2], v)
+		if err != nil {
+			return false
+		}
+		want := tensor.MTTKRP(x, factors, n)
+		return got.Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, qcfg(102)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickJobCountFormulas checks Tables III/IV's job-count column on
+// random shapes.
+func TestQuickJobCountFormulas(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randomSparse(rng, [3]int64{4, 4, 4}, 8)
+		q := 1 + rng.Intn(3)
+		r := 1 + rng.Intn(3)
+		v := Variants[rng.Intn(len(Variants))]
+		c := testCluster()
+		s, err := Stage(c, "X", x)
+		if err != nil {
+			return false
+		}
+		u1 := matrix.Random(4, q, rng)
+		u2 := matrix.Random(4, r, rng)
+		if _, err := TuckerContract(s, 0, u1, u2, v); err != nil {
+			return false
+		}
+		if c.Totals().Jobs != v.TuckerJobs(q, r) {
+			return false
+		}
+		// PARAFAC requires equal ranks.
+		c2 := testCluster()
+		s2, err := Stage(c2, "X", x)
+		if err != nil {
+			return false
+		}
+		u2r := matrix.Random(4, q, rng)
+		if _, err := ParafacContract(s2, 0, u1, u2r, v); err != nil {
+			return false
+		}
+		return c2.Totals().Jobs == v.ParafacJobs(q)
+	}
+	if err := quick.Check(f, qcfg(103)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIntermediateBounds checks that measured per-job shuffle never
+// exceeds the analytic intermediate-data bounds (up to the vector/matrix
+// side inputs, which the formulas omit).
+func TestQuickIntermediateBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [3]int64{5 + rng.Int63n(5), 5 + rng.Int63n(5), 5 + rng.Int63n(5)}
+		x := randomSparse(rng, dims, 10+rng.Intn(20))
+		q := 1 + rng.Intn(3)
+		r := 1 + rng.Intn(3)
+		v := Variants[rng.Intn(len(Variants))]
+		c := testCluster()
+		s, err := Stage(c, "X", x)
+		if err != nil {
+			return false
+		}
+		u1 := matrix.Random(int(dims[1]), q, rng)
+		u2 := matrix.Random(int(dims[2]), r, rng)
+		if _, err := TuckerContract(s, 0, u1, u2, v); err != nil {
+			return false
+		}
+		bound := v.TuckerIntermediate(int64(x.NNZ()), dims[0], dims[1], dims[2], q, r)
+		// Allow the matrix side inputs (≤ (J+K)·max(q,r) cells) on top of
+		// the tensor-data bound.
+		slack := (dims[1] + dims[2]) * int64(q+r)
+		return c.Totals().MaxShuffleRecords <= bound+slack
+	}
+	if err := quick.Check(f, qcfg(104)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParafacRankExceedingDims(t *testing.T) {
+	// Rank larger than every mode size: pseudo-inverse handles the rank
+	// deficiency and the run must not produce NaNs.
+	rng := rand.New(rand.NewSource(105))
+	x := randomSparse(rng, [3]int64{3, 3, 3}, 6)
+	c := testCluster()
+	res, err := ParafacALS(c, x, 5, Options{Variant: DRI, MaxIters: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lam := range res.Model.Lambda {
+		if math.IsNaN(lam) || math.IsInf(lam, 0) {
+			t.Fatalf("bad lambda %v", res.Model.Lambda)
+		}
+	}
+	for _, f := range res.Model.Factors {
+		for _, v := range f.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("NaN/Inf in factors")
+			}
+		}
+	}
+}
+
+func TestSingleEntryTensor(t *testing.T) {
+	x := tensor.New(4, 4, 4)
+	x.Append(3, 1, 2, 3)
+	x.Coalesce()
+	c := testCluster()
+	res, err := ParafacALS(c, x, 1, Options{Variant: DRI, MaxIters: 5, Seed: 1, TrackFit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single entry is exactly rank 1.
+	if fit := res.Model.Fit(x); fit < 0.999 {
+		t.Fatalf("fit %v on single-entry tensor", fit)
+	}
+}
+
+func TestTuckerOnBinaryTensor(t *testing.T) {
+	// bin(𝒳) == 𝒳 for a 0/1 tensor: 𝒯′ and 𝒯″ both come from the same
+	// values; exercise the DRI path on it.
+	rng := rand.New(rand.NewSource(106))
+	x := tensor.New(6, 6, 6)
+	for i := 0; i < 25; i++ {
+		x.Append(1, rng.Int63n(6), rng.Int63n(6), rng.Int63n(6))
+	}
+	x.Coalesce()
+	c := testCluster()
+	if _, err := TuckerALS(c, x, [3]int{2, 2, 2}, Options{Variant: DRI, MaxIters: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagedFiberKeysCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	x := randomSparse(rng, [3]int64{5, 5, 5}, 12)
+	c := testCluster()
+	s, err := Stage(c, "X", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := s.fiberKeys(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := c.FS().Stats().RecordsRead
+	f2, err := s.fiberKeys(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FS().Stats().RecordsRead != reads {
+		t.Fatal("second fiberKeys call re-read the file")
+	}
+	if len(f1) != len(f2) {
+		t.Fatal("cache returned different keys")
+	}
+	// Distinctness.
+	seen := map[[2]int64]bool{}
+	for _, k := range f1 {
+		if seen[k] {
+			t.Fatal("duplicate fiber key")
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,184 @@
+// Package core implements HaTen2, the paper's contribution: distributed
+// MapReduce plans for the bottleneck operations of Tucker and PARAFAC
+// decomposition — the n-mode matrix product chain 𝒳 ×₂Bᵀ ×₃Cᵀ and the
+// matricized-tensor Khatri-Rao product 𝒳₍₁₎(C⊙B) — in four variants of
+// increasing refinement (Table II of the paper):
+//
+//	Naive  one broadcast-style job per n-mode vector product (Alg. 3, 4)
+//	DNN    decoupled Hadamard-and-Merge steps (Alg. 5, 6)
+//	DRN    dependency removal via CrossMerge / PairwiseMerge (Alg. 7, 8)
+//	DRI    job integration via IMHP: exactly two jobs (Alg. 9, 10)
+//
+// On top of the plans, ParafacALS (Algorithm 1) and TuckerALS
+// (Algorithm 2) run full alternating-least-squares decompositions on a
+// simulated cluster, and the package also provides the paper's stated
+// future-work extensions (nonnegative and masked PARAFAC).
+package core
+
+import (
+	"fmt"
+
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// Entry is one nonzero of a 3-way tensor as staged on the DFS:
+// ⟨i, j, k, 𝒳(i,j,k)⟩ in the paper's notation.
+type Entry struct {
+	Idx [3]int64
+	Val float64
+}
+
+// MatEntry is one cell of a factor matrix: ⟨row, col, value⟩.
+type MatEntry struct {
+	Row int64
+	Col int32
+	Val float64
+}
+
+// HEntry is one nonzero of a Hadamard-product intermediate (𝒯′ or 𝒯″):
+// the original tensor coordinate plus the appended factor-column index
+// (Definition 5: the result of ∗ₙ has one extra mode).
+type HEntry struct {
+	Idx [3]int64
+	Col int32
+	Val float64
+}
+
+// YEntry is one entry of a contracted result: for Tucker, 𝒴(i, q, r);
+// for PARAFAC, 𝒴(i, r) with Q == R.
+type YEntry struct {
+	I    int64
+	Q, R int32
+	Val  float64
+}
+
+// On-disk record sizes in bytes, used for all DFS and shuffle accounting.
+// They correspond to the plain binary encodings of the structs above.
+const (
+	entryBytes    = 32 // 3×int64 + float64
+	matEntryBytes = 20 // int64 + int32 + float64
+	hEntryBytes   = 36 // 3×int64 + int32 + float64
+	yEntryBytes   = 24 // int64 + 2×int32 + float64
+)
+
+// sval is the single shuffle value type every HaTen2 job uses, tagged by
+// which input the record came from.
+type sval struct {
+	tag uint8 // tagTensor, tagMat, tagT1, tagT2
+	idx [3]int64
+	col int32
+	val float64
+}
+
+const (
+	tagTensor = uint8(iota)
+	tagMat
+	tagT1
+	tagT2
+)
+
+// Staged is an input tensor written to a cluster's DFS together with the
+// metadata the job planners need (shape, nnz, and — for the Naive
+// variant's broadcast emulation — the distinct fiber keys per mode).
+type Staged struct {
+	Name string
+	Dims [3]int64
+	NNZ  int64
+
+	cluster *mr.Cluster
+	// fibers[m] caches the distinct coordinate pairs of modes ≠ m, i.e.
+	// the reducer keys of the Naive plan's broadcast for mode m.
+	fibers [3][][2]int64
+}
+
+// Stage writes a coalesced 3-way tensor to the cluster DFS under name
+// and returns its handle. Decomposition drivers and benchmarks stage the
+// tensor once and run many jobs against it.
+func Stage(c *mr.Cluster, name string, x *tensor.Tensor) (*Staged, error) {
+	if x.Order() != 3 {
+		return nil, fmt.Errorf("core: Stage requires a 3-way tensor, got order %d", x.Order())
+	}
+	x.Coalesce()
+	entries := make([]Entry, x.NNZ())
+	for p := range entries {
+		idx := x.Index(p)
+		entries[p] = Entry{Idx: [3]int64{idx[0], idx[1], idx[2]}, Val: x.Value(p)}
+	}
+	if err := mr.WriteFile(c, name, entries, func(Entry) int64 { return entryBytes }); err != nil {
+		return nil, err
+	}
+	d := x.Dims()
+	return &Staged{
+		Name:    name,
+		Dims:    [3]int64{d[0], d[1], d[2]},
+		NNZ:     int64(x.NNZ()),
+		cluster: c,
+	}, nil
+}
+
+// Cluster returns the cluster the tensor is staged on.
+func (s *Staged) Cluster() *mr.Cluster { return s.cluster }
+
+// otherModes returns the two modes ≠ n in ascending order.
+func otherModes(n int) (int, int) {
+	switch n {
+	case 0:
+		return 1, 2
+	case 1:
+		return 0, 2
+	case 2:
+		return 0, 1
+	}
+	panic(fmt.Sprintf("core: invalid mode %d for 3-way tensor", n))
+}
+
+// fiberKeys returns the distinct (a, b) coordinate pairs over the modes
+// other than m present in the staged tensor, reading the staged file
+// once. The Naive plan broadcasts the factor vector to these keys.
+func (s *Staged) fiberKeys(m int) ([][2]int64, error) {
+	if s.fibers[m] != nil {
+		return s.fibers[m], nil
+	}
+	entries, err := mr.ReadFile[Entry](s.cluster, s.Name)
+	if err != nil {
+		return nil, err
+	}
+	m1, m2 := otherModes(m)
+	seen := make(map[[2]int64]struct{})
+	var keys [][2]int64
+	for _, e := range entries {
+		k := [2]int64{e.Idx[m1], e.Idx[m2]}
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	s.fibers[m] = keys
+	return keys, nil
+}
+
+// stageMatrix writes a factor matrix to the DFS as per-cell records,
+// replacing any previous file of the same name (the per-iteration factor
+// update pattern).
+func stageMatrix(c *mr.Cluster, name string, m *matrix.Matrix) error {
+	cells := make([]MatEntry, 0, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			cells = append(cells, MatEntry{Row: int64(i), Col: int32(j), Val: v})
+		}
+	}
+	return mr.WriteFile(c, name, cells, func(MatEntry) int64 { return matEntryBytes })
+}
+
+// stageColumn writes one column of a factor matrix (the per-column jobs
+// of the Naive, DNN and DRN variants read single columns).
+func stageColumn(c *mr.Cluster, name string, m *matrix.Matrix, col int) error {
+	cells := make([]MatEntry, 0, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		cells = append(cells, MatEntry{Row: int64(i), Col: int32(col), Val: m.At(i, col)})
+	}
+	return mr.WriteFile(c, name, cells, func(MatEntry) int64 { return matEntryBytes })
+}

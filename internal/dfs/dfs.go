@@ -1,0 +1,260 @@
+// Package dfs simulates the distributed file system (HDFS) that HaTen2's
+// MapReduce jobs stage their input and output through.
+//
+// The simulator stores records in memory but performs full bookkeeping of
+// what a real HDFS would do to disk: records are packed into fixed-size
+// blocks, every written block is charged once per replica, and every job
+// that reads a file is charged for all of its bytes again. This makes the
+// paper's third optimization axis — "minimize disk accesses" by reading
+// the input tensor once instead of twice (§III-B4) — directly observable
+// in Stats.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Record is one item stored in a file: an opaque payload plus the number
+// of bytes it would occupy on disk. Sizes are supplied by the writer
+// because the simulator never serializes payloads.
+type Record struct {
+	Data any
+	Size int64
+}
+
+// Options configures a simulated file system.
+type Options struct {
+	// BlockSize is the HDFS block size in bytes. Defaults to 64 MiB,
+	// Hadoop 1.x's default (the paper's era).
+	BlockSize int64
+	// Replication is the number of replicas written per block. Defaults
+	// to 3, HDFS's default.
+	Replication int
+}
+
+// Stats aggregates the I/O the file system has performed.
+type Stats struct {
+	BytesWritten   int64 // logical bytes written (before replication)
+	BytesReplWrite int64 // physical bytes written including replication
+	BytesRead      int64
+	RecordsWritten int64
+	RecordsRead    int64
+	BlocksWritten  int64 // logical blocks
+	FilesCreated   int64
+	FilesDeleted   int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.BytesWritten += other.BytesWritten
+	s.BytesReplWrite += other.BytesReplWrite
+	s.BytesRead += other.BytesRead
+	s.RecordsWritten += other.RecordsWritten
+	s.RecordsRead += other.RecordsRead
+	s.BlocksWritten += other.BlocksWritten
+	s.FilesCreated += other.FilesCreated
+	s.FilesDeleted += other.FilesDeleted
+}
+
+type file struct {
+	records []Record
+	bytes   int64
+}
+
+// FS is a simulated distributed file system. All methods are safe for
+// concurrent use.
+type FS struct {
+	mu    sync.Mutex
+	opts  Options
+	files map[string]*file
+	stats Stats
+}
+
+// New returns an empty file system with the given options
+// (zero fields take the documented defaults).
+func New(opts Options) *FS {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = 64 << 20
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 3
+	}
+	return &FS{opts: opts, files: make(map[string]*file)}
+}
+
+// ErrNotExist is returned when a named file is absent.
+type ErrNotExist struct{ Name string }
+
+func (e *ErrNotExist) Error() string { return fmt.Sprintf("dfs: file %q does not exist", e.Name) }
+
+// ErrExist is returned by Create when the file already exists.
+type ErrExist struct{ Name string }
+
+func (e *ErrExist) Error() string { return fmt.Sprintf("dfs: file %q already exists", e.Name) }
+
+// Create makes a new empty file and returns a writer for it. Like HDFS,
+// files are write-once: Create fails if the name already exists.
+func (fs *FS) Create(name string) (*Writer, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, &ErrExist{Name: name}
+	}
+	f := &file{}
+	fs.files[name] = f
+	fs.stats.FilesCreated++
+	return &Writer{fs: fs, f: f}, nil
+}
+
+// Writer appends records to a file. It buffers nothing; every Append is
+// accounted immediately. Writers are safe for concurrent use.
+type Writer struct {
+	fs *FS
+	f  *file
+}
+
+// Append adds one record to the file.
+func (w *Writer) Append(data any, size int64) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.f.records = append(w.f.records, Record{Data: data, Size: size})
+	w.f.bytes += size
+	w.fs.stats.BytesWritten += size
+	w.fs.stats.BytesReplWrite += size * int64(w.fs.opts.Replication)
+	w.fs.stats.RecordsWritten++
+}
+
+// AppendAll adds many records with a single lock acquisition.
+func (w *Writer) AppendAll(recs []Record) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.f.records = append(w.f.records, recs...)
+	for _, r := range recs {
+		w.f.bytes += r.Size
+		w.fs.stats.BytesWritten += r.Size
+		w.fs.stats.BytesReplWrite += r.Size * int64(w.fs.opts.Replication)
+	}
+	w.fs.stats.RecordsWritten += int64(len(recs))
+}
+
+// Close finalizes the file, charging block-level accounting.
+func (w *Writer) Close() {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	blocks := (w.f.bytes + w.fs.opts.BlockSize - 1) / w.fs.opts.BlockSize
+	if w.f.bytes > 0 && blocks == 0 {
+		blocks = 1
+	}
+	w.fs.stats.BlocksWritten += blocks
+}
+
+// ReadAll returns all records of a file and charges a full read.
+// The returned slice aliases file storage; callers must not mutate it.
+func (fs *FS) ReadAll(name string) ([]Record, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, &ErrNotExist{Name: name}
+	}
+	fs.stats.BytesRead += f.bytes
+	fs.stats.RecordsRead += int64(len(f.records))
+	return f.records, nil
+}
+
+// Splits partitions a file's records into n contiguous input splits for
+// the MapReduce engine, charging one full read of the file. Some splits
+// may be empty when the file has fewer records than n.
+func (fs *FS) Splits(name string, n int) ([][]Record, error) {
+	if n <= 0 {
+		n = 1
+	}
+	recs, err := fs.ReadAll(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Record, n)
+	per := (len(recs) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		if lo > len(recs) {
+			lo = len(recs)
+		}
+		hi := lo + per
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		out[i] = recs[lo:hi]
+	}
+	return out, nil
+}
+
+// Size returns the logical byte size of a file.
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, &ErrNotExist{Name: name}
+	}
+	return f.bytes, nil
+}
+
+// NumRecords returns the record count of a file.
+func (fs *FS) NumRecords(name string) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, &ErrNotExist{Name: name}
+	}
+	return len(f.records), nil
+}
+
+// Exists reports whether a file is present.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Delete removes a file. Deleting an absent file returns ErrNotExist.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return &ErrNotExist{Name: name}
+	}
+	delete(fs.files, name)
+	fs.stats.FilesDeleted++
+	return nil
+}
+
+// List returns all file names in lexical order.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns a snapshot of the accumulated I/O statistics.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats zeroes the statistics (files are kept).
+func (fs *FS) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+}

@@ -1,0 +1,203 @@
+package dfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := New(Options{})
+	w, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append("x", 10)
+	w.Append("y", 20)
+	w.Close()
+	recs, err := fs.ReadAll("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Data != "x" || recs[1].Size != 20 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := New(Options{})
+	if _, err := fs.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fs.Create("a")
+	var ee *ErrExist
+	if !errors.As(err, &ee) || ee.Name != "a" {
+		t.Fatalf("want ErrExist, got %v", err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New(Options{})
+	_, err := fs.ReadAll("nope")
+	var ne *ErrNotExist
+	if !errors.As(err, &ne) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	fs := New(Options{BlockSize: 100, Replication: 3})
+	w, _ := fs.Create("f")
+	w.Append(1, 150)
+	w.Append(2, 60)
+	w.Close()
+	if _, err := fs.ReadAll("f"); err != nil {
+		t.Fatal(err)
+	}
+	s := fs.Stats()
+	if s.BytesWritten != 210 {
+		t.Fatalf("BytesWritten=%d", s.BytesWritten)
+	}
+	if s.BytesReplWrite != 630 {
+		t.Fatalf("BytesReplWrite=%d", s.BytesReplWrite)
+	}
+	if s.BlocksWritten != 3 { // ceil(210/100)
+		t.Fatalf("BlocksWritten=%d", s.BlocksWritten)
+	}
+	if s.BytesRead != 210 || s.RecordsRead != 2 || s.RecordsWritten != 2 {
+		t.Fatalf("stats=%+v", s)
+	}
+	if s.FilesCreated != 1 {
+		t.Fatalf("FilesCreated=%d", s.FilesCreated)
+	}
+}
+
+func TestRereadChargesAgain(t *testing.T) {
+	// The DRI optimization (read input once, not twice) must be visible.
+	fs := New(Options{})
+	w, _ := fs.Create("f")
+	w.Append(1, 100)
+	w.Close()
+	fs.ReadAll("f")
+	fs.ReadAll("f")
+	if got := fs.Stats().BytesRead; got != 200 {
+		t.Fatalf("BytesRead=%d want 200", got)
+	}
+}
+
+func TestSplits(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("f")
+	for i := 0; i < 10; i++ {
+		w.Append(i, 1)
+	}
+	w.Close()
+	splits, err := fs.Splits("f", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("%d splits", len(splits))
+	}
+	total := 0
+	for _, s := range splits {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Fatalf("splits lost records: %d", total)
+	}
+	// More splits than records: trailing splits empty, nothing lost.
+	splits, _ = fs.Splits("f", 20)
+	total = 0
+	for _, s := range splits {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Fatalf("over-split lost records: %d", total)
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	fs := New(Options{})
+	for _, n := range []string{"b", "a", "c"} {
+		w, _ := fs.Create(n)
+		w.Close()
+	}
+	got := fs.List()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("List=%v", got)
+	}
+	if err := fs.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("b") {
+		t.Fatal("deleted file still exists")
+	}
+	if err := fs.Delete("b"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	if fs.Stats().FilesDeleted != 1 {
+		t.Fatal("FilesDeleted not counted")
+	}
+}
+
+func TestSizeAndNumRecords(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("f")
+	w.AppendAll([]Record{{Data: 1, Size: 5}, {Data: 2, Size: 7}})
+	w.Close()
+	if sz, _ := fs.Size("f"); sz != 12 {
+		t.Fatalf("Size=%d", sz)
+	}
+	if n, _ := fs.NumRecords("f"); n != 2 {
+		t.Fatalf("NumRecords=%d", n)
+	}
+	if _, err := fs.Size("missing"); err == nil {
+		t.Fatal("Size of missing file should fail")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("f")
+	w.Append(1, 1)
+	fs.ResetStats()
+	if s := fs.Stats(); s != (Stats{}) {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+	// File still readable after reset.
+	if !fs.Exists("f") {
+		t.Fatal("reset dropped files")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{BytesWritten: 1, BytesRead: 2, RecordsRead: 3}
+	a.Add(Stats{BytesWritten: 10, BytesRead: 20, RecordsRead: 30, FilesCreated: 1})
+	if a.BytesWritten != 11 || a.BytesRead != 22 || a.RecordsRead != 33 || a.FilesCreated != 1 {
+		t.Fatalf("Add=%+v", a)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("f")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w.Append(i, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	w.Close()
+	if n, _ := fs.NumRecords("f"); n != 800 {
+		t.Fatalf("lost records under concurrency: %d", n)
+	}
+	if fs.Stats().BytesWritten != 800 {
+		t.Fatalf("bytes=%d", fs.Stats().BytesWritten)
+	}
+}

@@ -1,0 +1,113 @@
+// Package gen produces the synthetic datasets the experiment harness
+// decomposes: uniform random sparse tensors (the paper's scalability
+// workloads), planted-concept knowledge-base tensors standing in for the
+// Freebase-music and NELL crawls (offline substitutes with checkable
+// ground truth), and network-intrusion logs (the paper's motivating
+// introduction example).
+//
+// Everything is seeded and deterministic.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// Random returns a 3-way tensor of the given shape with approximately
+// nnz distinct nonzero entries drawn uniformly (exactly nnz when the
+// shape has at least nnz cells and the space is sparse enough to sample
+// without excessive rejection). Values are drawn from [1, 2) so that no
+// entry cancels or binarizes away.
+func Random(seed int64, dims [3]int64, nnz int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(dims[0], dims[1], dims[2])
+	total := float64(dims[0]) * float64(dims[1]) * float64(dims[2])
+	if float64(nnz) > total {
+		nnz = int(total)
+	}
+	seen := make(map[[3]int64]struct{}, nnz)
+	attempts := 0
+	maxAttempts := nnz * 20
+	for len(seen) < nnz && attempts < maxAttempts {
+		attempts++
+		c := [3]int64{rng.Int63n(dims[0]), rng.Int63n(dims[1]), rng.Int63n(dims[2])}
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		t.Append(1+rng.Float64(), c[0], c[1], c[2])
+	}
+	t.Coalesce()
+	return t
+}
+
+// RandomWithDensity returns an I×I×I tensor with the given density —
+// the paper's Fig. 1(b)/7(b) axis. Density is clamped to (0, 1].
+func RandomWithDensity(seed int64, dim int64, density float64) *tensor.Tensor {
+	if density <= 0 {
+		density = 1e-9
+	}
+	if density > 1 {
+		density = 1
+	}
+	nnz := int(density * float64(dim) * float64(dim) * float64(dim))
+	if nnz < 1 {
+		nnz = 1
+	}
+	return Random(seed, [3]int64{dim, dim, dim}, nnz)
+}
+
+// DatasetInfo summarizes a generated dataset for Table V.
+type DatasetInfo struct {
+	Name    string
+	I, J, K int64
+	NNZ     int64
+}
+
+// Describe builds a DatasetInfo for a tensor.
+func Describe(name string, t *tensor.Tensor) DatasetInfo {
+	d := t.Dims()
+	return DatasetInfo{Name: name, I: d[0], J: d[1], K: d[2], NNZ: int64(t.NNZ())}
+}
+
+// Human renders a count the way Table V does (B/M/K suffixes).
+func Human(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// SplitHoldout partitions a tensor's entries into a training tensor and
+// a held-out coordinate list (with true values), for use with
+// MaskedParafacALS-style completion and cross-validation. frac is the
+// held-out fraction in (0, 1); the split is seeded and deterministic.
+func SplitHoldout(x *tensor.Tensor, frac float64, seed int64) (train *tensor.Tensor, heldIdx [][3]int64, heldVal []float64) {
+	if x.Order() != 3 {
+		panic("gen: SplitHoldout requires a 3-way tensor")
+	}
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("gen: holdout fraction %v outside (0,1)", frac))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train = tensor.New(x.Dims()...)
+	for p := 0; p < x.NNZ(); p++ {
+		idx := x.Index(p)
+		v := x.Value(p)
+		if rng.Float64() < frac {
+			heldIdx = append(heldIdx, [3]int64{idx[0], idx[1], idx[2]})
+			heldVal = append(heldVal, v)
+		} else {
+			train.Append(v, idx[0], idx[1], idx[2])
+		}
+	}
+	train.Coalesce()
+	return train, heldIdx, heldVal
+}

@@ -1,0 +1,185 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// IntrusionConfig controls the network-intrusion-log generator — the
+// paper's motivating example: "(source-ip, target-ip, port-number,
+// timestamp)" connection logs in which decomposition should expose
+// attack structure. The generator is 3-way (source, target, port), with
+// timestamps aggregated into connection counts.
+type IntrusionConfig struct {
+	Seed    int64
+	Sources int64
+	Targets int64
+	Ports   int64
+	// Background is the number of benign connections: web-like traffic
+	// concentrated on a few common ports.
+	Background int
+	// ScanSources is the number of compromised hosts performing a port
+	// scan: each touches ScanPorts ports on ScanTargets targets,
+	// creating a dense anomalous block.
+	ScanSources int
+	ScanTargets int
+	ScanPorts   int
+}
+
+func (c IntrusionConfig) withDefaults() IntrusionConfig {
+	if c.Sources <= 0 {
+		c.Sources = 60
+	}
+	if c.Targets <= 0 {
+		c.Targets = 60
+	}
+	if c.Ports <= 0 {
+		c.Ports = 40
+	}
+	if c.Background <= 0 {
+		c.Background = 800
+	}
+	if c.ScanSources <= 0 {
+		c.ScanSources = 3
+	}
+	if c.ScanTargets <= 0 {
+		c.ScanTargets = 12
+	}
+	if c.ScanPorts <= 0 {
+		c.ScanPorts = 15
+	}
+	return c
+}
+
+// Intrusion is a generated connection-log tensor with ground truth.
+type Intrusion struct {
+	Tensor *tensor.Tensor
+	// ScanSources, ScanTargets, ScanPorts are the planted attacker
+	// coordinates a correct analysis should surface.
+	ScanSources []int64
+	ScanTargets []int64
+	ScanPorts   []int64
+	// CommonPorts carry the benign traffic.
+	CommonPorts []int64
+}
+
+// Label renders a synthetic address for reporting.
+func (g *Intrusion) Label(kind string, id int64) string {
+	switch kind {
+	case "source", "target":
+		return fmt.Sprintf("10.%d.%d.%d", id/65536%256, id/256%256, id%256)
+	default:
+		return fmt.Sprintf("port-%d", 1000+id)
+	}
+}
+
+// NewIntrusion generates the log tensor: benign traffic spread over a
+// handful of service ports, plus a planted port-scan block.
+func NewIntrusion(cfg IntrusionConfig) *Intrusion {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := &Intrusion{}
+	x := tensor.New(cfg.Sources, cfg.Targets, cfg.Ports)
+	// Benign traffic: ~5 service ports receive almost everything.
+	nCommon := int64(5)
+	if nCommon > cfg.Ports {
+		nCommon = cfg.Ports
+	}
+	for p := int64(0); p < nCommon; p++ {
+		out.CommonPorts = append(out.CommonPorts, p)
+	}
+	for i := 0; i < cfg.Background; i++ {
+		x.Append(1,
+			rng.Int63n(cfg.Sources),
+			rng.Int63n(cfg.Targets),
+			out.CommonPorts[rng.Intn(len(out.CommonPorts))])
+	}
+	// The scan block: a few sources sweep many ports on many targets.
+	for s := 0; s < cfg.ScanSources; s++ {
+		src := cfg.Sources - 1 - int64(s) // park attackers at the top ids
+		out.ScanSources = append(out.ScanSources, src)
+	}
+	for t := 0; t < cfg.ScanTargets; t++ {
+		out.ScanTargets = append(out.ScanTargets, rng.Int63n(cfg.Targets))
+	}
+	for p := 0; p < cfg.ScanPorts; p++ {
+		port := nCommon + int64(rng.Intn(int(cfg.Ports-nCommon)))
+		out.ScanPorts = append(out.ScanPorts, port)
+	}
+	for _, src := range out.ScanSources {
+		for _, tgt := range out.ScanTargets {
+			for _, port := range out.ScanPorts {
+				x.Append(1, src, tgt, port)
+			}
+		}
+	}
+	x.Coalesce()
+	out.Tensor = x
+	return out
+}
+
+// Intrusion4D is a 4-way connection-log tensor — the paper's motivating
+// example verbatim: (source-ip, target-ip, port-number, timestamp).
+type Intrusion4D struct {
+	Tensor      *tensor.Tensor
+	ScanSources []int64
+	ScanWindow  [2]int64 // [start, end) hours of the attack
+	CommonPorts []int64
+}
+
+// NewIntrusion4D generates the 4-way log: benign diurnal traffic on
+// service ports across all hours, plus a port scan confined to a short
+// time window — the temporal mode is what the 3-way projection loses.
+func NewIntrusion4D(cfg IntrusionConfig, hours int64) *Intrusion4D {
+	cfg = cfg.withDefaults()
+	if hours <= 0 {
+		hours = 24
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := &Intrusion4D{}
+	x := tensor.New(cfg.Sources, cfg.Targets, cfg.Ports, hours)
+	nCommon := int64(5)
+	if nCommon > cfg.Ports {
+		nCommon = cfg.Ports
+	}
+	for p := int64(0); p < nCommon; p++ {
+		out.CommonPorts = append(out.CommonPorts, p)
+	}
+	for i := 0; i < cfg.Background; i++ {
+		// Diurnal shape: business hours are busier.
+		h := rng.Int63n(hours)
+		if rng.Float64() < 0.6 {
+			h = 8 + rng.Int63n(10)
+			if h >= hours {
+				h = hours - 1
+			}
+		}
+		x.Append(1,
+			rng.Int63n(cfg.Sources),
+			rng.Int63n(cfg.Targets),
+			out.CommonPorts[rng.Intn(len(out.CommonPorts))],
+			h)
+	}
+	// The scan: a burst in a 3-hour window.
+	start := hours / 3
+	out.ScanWindow = [2]int64{start, start + 3}
+	for s := 0; s < cfg.ScanSources; s++ {
+		src := cfg.Sources - 1 - int64(s)
+		out.ScanSources = append(out.ScanSources, src)
+	}
+	for _, src := range out.ScanSources {
+		for t := 0; t < cfg.ScanTargets; t++ {
+			tgt := rng.Int63n(cfg.Targets)
+			for p := 0; p < cfg.ScanPorts; p++ {
+				port := nCommon + int64(rng.Intn(int(cfg.Ports-nCommon)))
+				h := out.ScanWindow[0] + rng.Int63n(out.ScanWindow[1]-out.ScanWindow[0])
+				x.Append(1, src, tgt, port, h)
+			}
+		}
+	}
+	x.Coalesce()
+	out.Tensor = x
+	return out
+}

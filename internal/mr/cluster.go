@@ -1,0 +1,223 @@
+// Package mr is a deterministic MapReduce engine that simulates the
+// Hadoop cluster HaTen2 ran on. Jobs execute real map, shuffle, and
+// reduce phases over goroutine workers, staging all input and output
+// through a simulated distributed file system (package dfs).
+//
+// Two kinds of measurement come out of every job:
+//
+//   - exact counters (records and bytes mapped, shuffled, reduced, and
+//     materialized between jobs) — these reproduce the cost summaries in
+//     Tables III and IV of the paper;
+//   - a simulated running time from a calibrated cost model with a fixed
+//     per-job startup charge, per-machine parallel work, and per-machine
+//     coordination overhead — this reproduces the running-time *shapes*
+//     of Figures 1, 7, and 8 (who wins, where methods fail, and how
+//     speedup flattens as machines are added).
+//
+// Wall-clock time is also recorded so the benchmarks can report both.
+package mr
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/haten2/haten2/internal/dfs"
+)
+
+// CostModel holds the calibrated constants of the simulated-time model.
+// The defaults approximate a Hadoop-1.x cluster of the paper's era
+// (quad-core Xeon machines, 1 GbE, JVM-per-task job latency).
+type CostModel struct {
+	// JobStartup is the fixed per-job charge in seconds (job scheduling,
+	// JVM spawning). This is what HaTen2-DRI's job integration saves.
+	JobStartup float64
+	// PerMapRecord and PerReduceRecord are seconds of CPU per record,
+	// divided across machines.
+	PerMapRecord    float64
+	PerReduceRecord float64
+	// PerShuffleByte is seconds per byte moved through the shuffle,
+	// divided across machines (network + spill).
+	PerShuffleByte float64
+	// PerDFSByte is seconds per byte read from or written to the DFS,
+	// divided across machines.
+	PerDFSByte float64
+	// CoordPerMachine is seconds of per-job coordination overhead added
+	// per machine (heartbeats, synchronization); it is what makes the
+	// machine-scalability curve in Figure 8 flatten.
+	CoordPerMachine float64
+}
+
+// DefaultCostModel returns the calibrated constants used by the
+// experiment harness.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		JobStartup:      15.0,
+		PerMapRecord:    1.2e-6,
+		PerReduceRecord: 1.2e-6,
+		PerShuffleByte:  2.5e-8, // ~40 MB/s effective shuffle per machine
+		PerDFSByte:      1.0e-8, // ~100 MB/s effective DFS per machine
+		CoordPerMachine: 0.05,
+	}
+}
+
+// JobTime evaluates the model for one job on m machines.
+func (c CostModel) JobTime(m int, st JobStats) float64 {
+	if m <= 0 {
+		m = 1
+	}
+	mf := float64(m)
+	return c.JobStartup +
+		float64(st.InputRecords)*c.PerMapRecord/mf +
+		float64(st.ShuffleBytes)*c.PerShuffleByte/mf +
+		float64(st.ShuffleRecords)*c.PerReduceRecord/mf +
+		float64(st.InputBytes+st.OutputBytes)*c.PerDFSByte/mf +
+		c.CoordPerMachine*mf
+}
+
+// JobStats records what one MapReduce job did.
+type JobStats struct {
+	Name           string
+	MapTasks       int
+	ReduceTasks    int
+	InputRecords   int64
+	InputBytes     int64
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	OutputRecords  int64
+	OutputBytes    int64
+	SimSeconds     float64
+}
+
+// Totals aggregates counters across the jobs a cluster has run.
+type Totals struct {
+	Jobs           int
+	InputRecords   int64
+	InputBytes     int64
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	OutputRecords  int64
+	OutputBytes    int64
+	// MaxShuffleRecords and MaxShuffleBytes track the largest single-job
+	// shuffle — the paper's "max intermediate data" for in-flight data.
+	MaxShuffleRecords int64
+	MaxShuffleBytes   int64
+	// MaxMaterializedRecords tracks the largest between-jobs dataset
+	// written to the DFS — the quantity Tables III/IV bound.
+	MaxMaterializedRecords int64
+	SimSeconds             float64
+}
+
+// ErrResourceExhausted reports that a job exceeded the cluster's
+// configured shuffle capacity — the simulator's equivalent of a Hadoop
+// job dying with out-of-memory or out-of-disk ("o.o.m" in Figures 1
+// and 7).
+type ErrResourceExhausted struct {
+	Job            string
+	ShuffleRecords int64
+	Limit          int64
+}
+
+func (e *ErrResourceExhausted) Error() string {
+	return fmt.Sprintf("mr: job %q exhausted cluster resources: %d shuffle records > limit %d",
+		e.Job, e.ShuffleRecords, e.Limit)
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Machines is the number of machines (the paper uses 10–40).
+	Machines int
+	// SlotsPerMachine is the number of concurrent map/reduce tasks per
+	// machine (4 for the paper's quad-core nodes).
+	SlotsPerMachine int
+	// MaxShuffleRecords caps the number of records any single job may
+	// shuffle before it is killed with ErrResourceExhausted. Zero means
+	// unlimited.
+	MaxShuffleRecords int64
+	// Cost is the simulated-time model; zero value takes defaults.
+	Cost CostModel
+}
+
+// Cluster is a simulated Hadoop cluster: a DFS plus job execution with
+// counters. Methods are safe for concurrent use, though jobs are
+// typically run sequentially (as Hadoop job chains are).
+type Cluster struct {
+	cfg Config
+	fs  *dfs.FS
+
+	mu     sync.Mutex
+	totals Totals
+	jobs   []JobStats
+}
+
+// NewCluster creates a cluster with cfg and a fresh DFS.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Machines <= 0 {
+		cfg.Machines = 1
+	}
+	if cfg.SlotsPerMachine <= 0 {
+		cfg.SlotsPerMachine = 4
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	return &Cluster{cfg: cfg, fs: dfs.New(dfs.Options{})}
+}
+
+// FS returns the cluster's distributed file system.
+func (c *Cluster) FS() *dfs.FS { return c.fs }
+
+// Machines returns the configured machine count.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// Workers returns the total number of task slots.
+func (c *Cluster) Workers() int { return c.cfg.Machines * c.cfg.SlotsPerMachine }
+
+// Totals returns a snapshot of the aggregated job counters.
+func (c *Cluster) Totals() Totals {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totals
+}
+
+// Jobs returns a copy of the per-job statistics in execution order.
+func (c *Cluster) Jobs() []JobStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobStats, len(c.jobs))
+	copy(out, c.jobs)
+	return out
+}
+
+// ResetCounters zeroes the cluster totals and job log. DFS contents and
+// DFS statistics are left untouched.
+func (c *Cluster) ResetCounters() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.totals = Totals{}
+	c.jobs = nil
+}
+
+// record merges one finished job's stats into the totals.
+func (c *Cluster) record(st JobStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs = append(c.jobs, st)
+	t := &c.totals
+	t.Jobs++
+	t.InputRecords += st.InputRecords
+	t.InputBytes += st.InputBytes
+	t.ShuffleRecords += st.ShuffleRecords
+	t.ShuffleBytes += st.ShuffleBytes
+	t.OutputRecords += st.OutputRecords
+	t.OutputBytes += st.OutputBytes
+	if st.ShuffleRecords > t.MaxShuffleRecords {
+		t.MaxShuffleRecords = st.ShuffleRecords
+	}
+	if st.ShuffleBytes > t.MaxShuffleBytes {
+		t.MaxShuffleBytes = st.ShuffleBytes
+	}
+	if st.OutputRecords > t.MaxMaterializedRecords {
+		t.MaxMaterializedRecords = st.OutputRecords
+	}
+	t.SimSeconds += st.SimSeconds
+}

@@ -1,0 +1,59 @@
+package mr
+
+import "github.com/haten2/haten2/internal/dfs"
+
+// HashInt64 is a partitioner for int64 keys (Fibonacci hashing, good
+// spread for both dense and strided key sets).
+func HashInt64(k int64) uint64 {
+	return uint64(k) * 0x9E3779B97F4A7C15
+}
+
+// HashPair is a partitioner for [2]int64 keys.
+func HashPair(k [2]int64) uint64 {
+	h := uint64(k[0])*0x9E3779B97F4A7C15 ^ uint64(k[1])*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	return h * 0xBF58476D1CE4E5B9
+}
+
+// WriteFile creates a DFS file containing items, each charged size(item)
+// bytes. It replaces any existing file of the same name (delete+create),
+// which is the common pattern for per-iteration factor matrices.
+func WriteFile[T any](c *Cluster, name string, items []T, size func(T) int64) error {
+	if c.fs.Exists(name) {
+		if err := c.fs.Delete(name); err != nil {
+			return err
+		}
+	}
+	w, err := c.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	recs := make([]dfs.Record, len(items))
+	for i, it := range items {
+		recs[i] = dfs.Record{Data: it, Size: size(it)}
+	}
+	w.AppendAll(recs)
+	w.Close()
+	return nil
+}
+
+// ReadFile reads back a DFS file written by WriteFile, asserting every
+// record to type T.
+func ReadFile[T any](c *Cluster, name string) ([]T, error) {
+	recs, err := c.fs.ReadAll(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(recs))
+	for i, r := range recs {
+		out[i] = r.Data.(T)
+	}
+	return out, nil
+}
+
+// HashTriple is a partitioner for [3]int64 keys.
+func HashTriple(k [3]int64) uint64 {
+	h := uint64(k[0])*0x9E3779B97F4A7C15 ^ uint64(k[1])*0xC2B2AE3D27D4EB4F ^ uint64(k[2])*0x165667B19E3779F9
+	h ^= h >> 31
+	return h * 0xBF58476D1CE4E5B9
+}

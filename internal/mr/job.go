@@ -1,0 +1,298 @@
+package mr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Input binds one DFS file to the map function that processes its
+// records, mirroring Hadoop's MultipleInputs: a job may read several
+// files with different record types feeding one shuffle. This is how
+// HaTen2's IMHP job reads the tensor and both factor matrices at once.
+type Input[K comparable, V any] struct {
+	// File is the DFS file to read.
+	File string
+	// Map is called once per record; it may emit any number of
+	// intermediate key/value pairs.
+	Map func(rec any, emit func(K, V))
+}
+
+// Job describes one MapReduce job.
+type Job[K comparable, V any, O any] struct {
+	// Name labels the job in statistics.
+	Name string
+	// Inputs are the files and map functions; at least one is required.
+	Inputs []Input[K, V]
+	// Reduce is called once per distinct key with all of its values.
+	Reduce func(key K, values []V, emit func(O))
+	// Combine, when non-nil, merges the values one map task emitted for
+	// a key before they are shuffled — Hadoop's combiner. It must be
+	// associative and produce values Reduce accepts. Shuffle counters
+	// (and therefore resource limits and simulated time) account the
+	// post-combine volume, which is the point of using one.
+	//
+	// The HaTen2 job plans deliberately do not use combiners — the
+	// paper's implementation didn't, and Tables III/IV are reproduced
+	// against un-combined shuffle volumes — but the engine supports
+	// them for the combiner ablation experiment.
+	Combine func(key K, values []V) []V
+	// Partition routes a key to a reducer as Partition(k) % reducers.
+	// It is required; use the Hash* helpers for common key shapes.
+	Partition func(K) uint64
+	// KVSize reports the serialized size in bytes of one intermediate
+	// pair, used for shuffle accounting. Nil means 24 bytes per pair.
+	KVSize func(K, V) int64
+	// OutSize reports the serialized size of one output record. Nil
+	// means 24 bytes.
+	OutSize func(O) int64
+	// Output, when non-empty, writes the job's output records to this
+	// DFS file (the between-jobs materialization Tables III/IV bound).
+	Output string
+	// Reducers overrides the reduce task count; 0 means one per worker.
+	Reducers int
+	// ExtraShuffleRecords and ExtraShuffleBytes charge additional
+	// intermediate data that a faithful implementation would have
+	// shuffled but that the simulator elides for tractability. HaTen2's
+	// Naive plan uses this: the paper's mapper copies the factor vector
+	// to *every* (i,k) fiber key — I·K copies, nnz+IJK intermediate
+	// records — while the simulator only materializes copies for fibers
+	// that exist, charging the rest here. The charge counts toward
+	// simulated time and the resource-exhaustion limit, so Naive fails
+	// exactly where the paper's does.
+	ExtraShuffleRecords int64
+	ExtraShuffleBytes   int64
+}
+
+type pair[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// Run executes the job on the cluster and returns the reduce outputs in
+// deterministic order along with the job's statistics. It returns
+// ErrResourceExhausted if the shuffle exceeds the cluster's configured
+// capacity, emulating the out-of-memory failures of Figures 1 and 7.
+func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStats, error) {
+	if len(job.Inputs) == 0 {
+		return nil, JobStats{}, fmt.Errorf("mr: job %q has no inputs", job.Name)
+	}
+	if job.Reduce == nil {
+		return nil, JobStats{}, fmt.Errorf("mr: job %q has no reduce function", job.Name)
+	}
+	if job.Partition == nil {
+		return nil, JobStats{}, fmt.Errorf("mr: job %q has no partition function", job.Name)
+	}
+	kvSize := job.KVSize
+	if kvSize == nil {
+		kvSize = func(K, V) int64 { return 24 }
+	}
+	outSize := job.OutSize
+	if outSize == nil {
+		outSize = func(O) int64 { return 24 }
+	}
+	reducers := job.Reducers
+	if reducers <= 0 {
+		reducers = c.Workers()
+	}
+
+	st := JobStats{Name: job.Name, ReduceTasks: reducers}
+
+	// --- Map phase -------------------------------------------------------
+	// Split every input into one split per worker and run map tasks in a
+	// bounded pool. Each task fills private per-reducer buckets; the
+	// buckets are concatenated in task order afterwards so the engine is
+	// deterministic regardless of scheduling.
+	type taskOut struct {
+		buckets [][]pair[K, V]
+		records int64
+		bytes   int64
+	}
+	var tasks []func() taskOut
+	for _, in := range job.Inputs {
+		splits, err := c.fs.Splits(in.File, c.Workers())
+		if err != nil {
+			return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
+		}
+		for _, split := range splits {
+			if len(split) == 0 {
+				continue
+			}
+			split := split
+			mapFn := in.Map
+			st.MapTasks++
+			st.InputRecords += int64(len(split))
+			for _, r := range split {
+				st.InputBytes += r.Size
+			}
+			tasks = append(tasks, func() taskOut {
+				out := taskOut{buckets: make([][]pair[K, V], reducers)}
+				emit := func(k K, v V) {
+					r := int(job.Partition(k) % uint64(reducers))
+					out.buckets[r] = append(out.buckets[r], pair[K, V]{k, v})
+				}
+				for _, rec := range split {
+					mapFn(rec.Data, emit)
+				}
+				if job.Combine != nil {
+					for r, bucket := range out.buckets {
+						out.buckets[r] = combineBucket(bucket, job.Combine)
+					}
+				}
+				for _, bucket := range out.buckets {
+					for _, p := range bucket {
+						out.records++
+						out.bytes += kvSize(p.k, p.v)
+					}
+				}
+				return out
+			})
+		}
+	}
+
+	limit := c.cfg.MaxShuffleRecords
+	var shuffled atomic.Int64
+	shuffled.Store(job.ExtraShuffleRecords)
+	outs := make([]taskOut, len(tasks))
+	pool := runtime.GOMAXPROCS(0)
+	if w := c.Workers(); w < pool {
+		pool = w
+	}
+	var exhausted atomic.Bool
+	runPool(pool, len(tasks), func(i int) {
+		if exhausted.Load() {
+			return
+		}
+		outs[i] = tasks[i]()
+		if limit > 0 && shuffled.Add(outs[i].records) > limit {
+			exhausted.Store(true)
+		}
+	})
+	st.ShuffleRecords += job.ExtraShuffleRecords
+	st.ShuffleBytes += job.ExtraShuffleBytes
+	for _, o := range outs {
+		st.ShuffleRecords += o.records
+		st.ShuffleBytes += o.bytes
+	}
+	if limit > 0 && st.ShuffleRecords > limit {
+		st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st)
+		c.record(st)
+		return nil, st, &ErrResourceExhausted{Job: job.Name, ShuffleRecords: st.ShuffleRecords, Limit: limit}
+	}
+
+	// --- Shuffle phase ---------------------------------------------------
+	// Group values by key per reducer, preserving task order so reduce
+	// input order (and therefore floating-point summation order) is
+	// deterministic.
+	type group struct {
+		keys   []K
+		values map[K][]V
+	}
+	groups := make([]group, reducers)
+	for r := range groups {
+		groups[r].values = make(map[K][]V)
+	}
+	for _, o := range outs {
+		for r, bucket := range o.buckets {
+			g := &groups[r]
+			for _, p := range bucket {
+				if _, ok := g.values[p.k]; !ok {
+					g.keys = append(g.keys, p.k)
+				}
+				g.values[p.k] = append(g.values[p.k], p.v)
+			}
+		}
+	}
+
+	// --- Reduce phase ------------------------------------------------
+	results := make([][]O, reducers)
+	resultBytes := make([]int64, reducers)
+	runPool(pool, reducers, func(r int) {
+		g := &groups[r]
+		var out []O
+		var bytes int64
+		emit := func(o O) {
+			out = append(out, o)
+			bytes += outSize(o)
+		}
+		for _, k := range g.keys {
+			job.Reduce(k, g.values[k], emit)
+		}
+		results[r] = out
+		resultBytes[r] = bytes
+	})
+	var all []O
+	for r, out := range results {
+		all = append(all, out...)
+		st.OutputRecords += int64(len(out))
+		st.OutputBytes += resultBytes[r]
+	}
+
+	if job.Output != "" {
+		w, err := c.fs.Create(job.Output)
+		if err != nil {
+			return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
+		}
+		for _, o := range all {
+			w.Append(o, outSize(o))
+		}
+		w.Close()
+	}
+
+	st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st)
+	c.record(st)
+	return all, st, nil
+}
+
+// combineBucket groups one task's bucket by key (preserving first-seen
+// key order), applies the combiner, and flattens back to pairs.
+func combineBucket[K comparable, V any](bucket []pair[K, V], combine func(K, []V) []V) []pair[K, V] {
+	if len(bucket) == 0 {
+		return bucket
+	}
+	var keys []K
+	grouped := make(map[K][]V)
+	for _, p := range bucket {
+		if _, ok := grouped[p.k]; !ok {
+			keys = append(keys, p.k)
+		}
+		grouped[p.k] = append(grouped[p.k], p.v)
+	}
+	out := bucket[:0]
+	for _, k := range keys {
+		for _, v := range combine(k, grouped[k]) {
+			out = append(out, pair[K, V]{k, v})
+		}
+	}
+	return out
+}
+
+// runPool executes fn(0..n-1) using at most width concurrent goroutines.
+func runPool(width, n int, fn func(i int)) {
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

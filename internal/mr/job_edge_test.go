@@ -1,0 +1,263 @@
+package mr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEmptyInputFileProducesNoOutput(t *testing.T) {
+	c := testCluster(2)
+	w, _ := c.FS().Create("empty")
+	w.Close()
+	out, st, err := Run(c, Job[int64, int64, int64]{
+		Name:      "empty",
+		Inputs:    []Input[int64, int64]{{File: "empty", Map: func(any, func(int64, int64)) { t.Fatal("map called") }}},
+		Reduce:    func(k int64, vs []int64, emit func(int64)) { emit(k) },
+		Partition: HashInt64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || st.MapTasks != 0 || st.ShuffleRecords != 0 {
+		t.Fatalf("out=%v st=%+v", out, st)
+	}
+}
+
+func TestMapEmitsNothing(t *testing.T) {
+	c := testCluster(2)
+	WriteFile(c, "in", []int64{1, 2, 3}, func(int64) int64 { return 8 })
+	out, st, err := Run(c, Job[int64, int64, int64]{
+		Name:      "silent",
+		Inputs:    []Input[int64, int64]{{File: "in", Map: func(any, func(int64, int64)) {}}},
+		Reduce:    func(k int64, vs []int64, emit func(int64)) { emit(k) },
+		Partition: HashInt64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("out=%v", out)
+	}
+	if st.InputRecords != 3 {
+		t.Fatalf("input records %d", st.InputRecords)
+	}
+}
+
+func TestReducersOption(t *testing.T) {
+	c := testCluster(4)
+	WriteFile(c, "in", []int64{0, 1, 2, 3, 4, 5, 6, 7}, func(int64) int64 { return 8 })
+	_, st, err := Run(c, Job[int64, int64, int64]{
+		Name:      "reducers",
+		Inputs:    []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(r.(int64), 1) }}},
+		Reduce:    func(k int64, vs []int64, emit func(int64)) { emit(k) },
+		Partition: HashInt64,
+		Reducers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReduceTasks != 2 {
+		t.Fatalf("reduce tasks %d", st.ReduceTasks)
+	}
+	if st.OutputRecords != 8 {
+		t.Fatalf("output records %d", st.OutputRecords)
+	}
+}
+
+func TestExtraShuffleAloneTripsLimit(t *testing.T) {
+	c := NewCluster(Config{Machines: 1, MaxShuffleRecords: 100})
+	WriteFile(c, "in", []int64{1}, func(int64) int64 { return 8 })
+	_, _, err := Run(c, Job[int64, int64, int64]{
+		Name:                "phantom",
+		Inputs:              []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(0, 1) }}},
+		Reduce:              func(k int64, vs []int64, emit func(int64)) { emit(k) },
+		Partition:           HashInt64,
+		ExtraShuffleRecords: 1000,
+		ExtraShuffleBytes:   8000,
+	})
+	var re *ErrResourceExhausted
+	if !errors.As(err, &re) {
+		t.Fatalf("want exhaustion from phantom charge, got %v", err)
+	}
+	if re.ShuffleRecords < 1000 {
+		t.Fatalf("phantom records not counted: %d", re.ShuffleRecords)
+	}
+}
+
+func TestExtraShuffleCountsTowardSimTime(t *testing.T) {
+	run := func(extra int64) float64 {
+		c := testCluster(2)
+		WriteFile(c, "in", []int64{1}, func(int64) int64 { return 8 })
+		_, st, err := Run(c, Job[int64, int64, int64]{
+			Name:                "timed",
+			Inputs:              []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(0, 1) }}},
+			Reduce:              func(k int64, vs []int64, emit func(int64)) { emit(k) },
+			Partition:           HashInt64,
+			ExtraShuffleRecords: extra,
+			ExtraShuffleBytes:   extra * 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.SimSeconds
+	}
+	if run(10_000_000) <= run(0) {
+		t.Fatal("phantom shuffle should increase simulated time")
+	}
+}
+
+func TestDuplicateOutputFileFails(t *testing.T) {
+	c := testCluster(1)
+	WriteFile(c, "in", []int64{1}, func(int64) int64 { return 8 })
+	job := Job[int64, int64, int64]{
+		Name:      "dup",
+		Inputs:    []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(0, 1) }}},
+		Reduce:    func(k int64, vs []int64, emit func(int64)) { emit(k) },
+		Partition: HashInt64,
+		Output:    "out",
+	}
+	if _, _, err := Run(c, job); err != nil {
+		t.Fatal(err)
+	}
+	// HDFS files are write-once: a second job writing the same path
+	// must fail loudly rather than silently overwrite.
+	if _, _, err := Run(c, job); err == nil {
+		t.Fatal("second write to same output accepted")
+	}
+}
+
+func TestValuesGroupedPerKeyInTaskOrder(t *testing.T) {
+	// Values for one key must arrive in deterministic (task, emission)
+	// order so float summation is reproducible.
+	c := NewCluster(Config{Machines: 1, SlotsPerMachine: 1})
+	WriteFile(c, "in", []int64{10, 20, 30}, func(int64) int64 { return 8 })
+	out, _, err := Run(c, Job[int64, int64, []int64]{
+		Name:   "order",
+		Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(0, r.(int64)) }}},
+		Reduce: func(k int64, vs []int64, emit func([]int64)) {
+			emit(append([]int64(nil), vs...))
+		},
+		Partition: HashInt64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0]) != 3 {
+		t.Fatalf("out=%v", out)
+	}
+	if out[0][0] != 10 || out[0][1] != 20 || out[0][2] != 30 {
+		t.Fatalf("values out of order: %v", out[0])
+	}
+}
+
+func TestJobsLogPreservesOrder(t *testing.T) {
+	c := testCluster(1)
+	WriteFile(c, "in", []int64{1}, func(int64) int64 { return 8 })
+	for _, name := range []string{"first", "second", "third"} {
+		_, _, err := Run(c, Job[int64, int64, int64]{
+			Name:      name,
+			Inputs:    []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(0, 1) }}},
+			Reduce:    func(k int64, vs []int64, emit func(int64)) { emit(k) },
+			Partition: HashInt64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := c.Jobs()
+	if len(jobs) != 3 || jobs[0].Name != "first" || jobs[2].Name != "third" {
+		t.Fatalf("job log %+v", jobs)
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	// One map task emits 100 values for one key; the combiner pre-sums
+	// them so only one record is shuffled.
+	run := func(withCombiner bool) (int64, int64) {
+		c := NewCluster(Config{Machines: 1, SlotsPerMachine: 1})
+		WriteFile(c, "in", []int64{1}, func(int64) int64 { return 8 })
+		job := Job[int64, int64, int64]{
+			Name: "combine",
+			Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) {
+				for i := int64(0); i < 100; i++ {
+					emit(0, 1)
+				}
+			}}},
+			Reduce: func(k int64, vs []int64, emit func(int64)) {
+				var s int64
+				for _, v := range vs {
+					s += v
+				}
+				emit(s)
+			},
+			Partition: HashInt64,
+		}
+		if withCombiner {
+			job.Combine = func(k int64, vs []int64) []int64 {
+				var s int64
+				for _, v := range vs {
+					s += v
+				}
+				return []int64{s}
+			}
+		}
+		out, st, err := Run(c, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 || out[0] != 100 {
+			t.Fatalf("wrong result with combiner=%v: %v", withCombiner, out)
+		}
+		return st.ShuffleRecords, st.ShuffleBytes
+	}
+	without, _ := run(false)
+	with, _ := run(true)
+	if without != 100 || with != 1 {
+		t.Fatalf("shuffle records without=%d with=%d", without, with)
+	}
+}
+
+func TestCombinerPreservesResultAcrossSplits(t *testing.T) {
+	// Multiple map tasks each combine locally; the reducer still sees
+	// the full total.
+	c := NewCluster(Config{Machines: 4, SlotsPerMachine: 2})
+	var items []int64
+	for i := int64(0); i < 64; i++ {
+		items = append(items, i)
+	}
+	WriteFile(c, "in", items, func(int64) int64 { return 8 })
+	out, st, err := Run(c, Job[int64, int64, int64]{
+		Name: "multcombine",
+		Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) {
+			emit(r.(int64)%4, 1)
+		}}},
+		Combine: func(k int64, vs []int64) []int64 {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			return []int64{s}
+		},
+		Reduce: func(k int64, vs []int64, emit func(int64)) {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+		Partition: HashInt64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, o := range out {
+		total += o
+	}
+	if total != 64 {
+		t.Fatalf("total %d", total)
+	}
+	if st.ShuffleRecords >= 64 {
+		t.Fatalf("combiner did not reduce shuffle: %d", st.ShuffleRecords)
+	}
+}

@@ -1,0 +1,121 @@
+package haten2_test
+
+import (
+	"math"
+	"testing"
+
+	haten2 "github.com/haten2/haten2"
+)
+
+// rank1Tensor4 builds an exactly rank-1 4-way tensor.
+func rank1Tensor4(t *testing.T) *haten2.TensorN {
+	t.Helper()
+	a := []float64{1, 2}
+	b := []float64{3, 1}
+	c := []float64{1, 2, 1}
+	d := []float64{2, 1}
+	x, err := haten2.NewTensorN(2, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2; i++ {
+		for j := int64(0); j < 2; j++ {
+			for k := int64(0); k < 3; k++ {
+				for l := int64(0); l < 2; l++ {
+					x.Append(a[i]*b[j]*c[k]*d[l], i, j, k, l)
+				}
+			}
+		}
+	}
+	x.Coalesce()
+	return x
+}
+
+func TestNewTensorNValidation(t *testing.T) {
+	if _, err := haten2.NewTensorN(2, 2); err == nil {
+		t.Fatal("order 2 accepted")
+	}
+	if _, err := haten2.NewTensorN(2, 2, 2, 2, 2); err == nil {
+		t.Fatal("order 5 accepted")
+	}
+	x, err := haten2.NewTensorN(3, 4, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order() != 4 {
+		t.Fatalf("order %d", x.Order())
+	}
+	d := x.Dims()
+	if d[3] != 6 {
+		t.Fatalf("dims %v", d)
+	}
+}
+
+func TestParafacN4WayEndToEnd(t *testing.T) {
+	x := rank1Tensor4(t)
+	c := haten2.NewCluster(haten2.ClusterConfig{Machines: 4})
+	res, err := haten2.ParafacN(c, x, 1, haten2.Options{MaxIters: 20, Seed: 1, TrackFit: true, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit := res.Fit(x); fit < 0.999 {
+		t.Fatalf("4-way rank-1 fit %v", fit)
+	}
+	if len(res.Factors) != 4 {
+		t.Fatalf("%d factors", len(res.Factors))
+	}
+	want := x.At(1, 0, 2, 1)
+	if got := res.Predict(1, 0, 2, 1); math.Abs(got-want) > 0.05*math.Abs(want) {
+		t.Fatalf("predict %v want %v", got, want)
+	}
+	// 4-way jobs ran on the cluster.
+	if c.Stats().Jobs == 0 {
+		t.Fatal("no jobs recorded")
+	}
+}
+
+func TestTuckerN4WayEndToEnd(t *testing.T) {
+	x := rank1Tensor4(t)
+	c := haten2.NewCluster(haten2.ClusterConfig{Machines: 4})
+	res, err := haten2.TuckerN(c, x, []int{1, 1, 1, 1}, haten2.Options{MaxIters: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit := res.Fit(x); fit < 0.999 {
+		t.Fatalf("4-way Tucker fit %v (norms %v)", fit, res.CoreNorms)
+	}
+	if len(res.CoreDims) != 4 {
+		t.Fatalf("core dims %v", res.CoreDims)
+	}
+	if res.CoreAt(0, 0, 0, 0) == 0 {
+		t.Fatal("empty core")
+	}
+}
+
+func TestParafacNOn3Way(t *testing.T) {
+	// The N-way API accepts order 3 too and must agree with the 3-way
+	// result quality.
+	x, err := haten2.NewTensorN(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []float64{1, 2, 3}
+	b := []float64{2, 1}
+	cv := []float64{1, 3}
+	for i := int64(0); i < 3; i++ {
+		for j := int64(0); j < 2; j++ {
+			for k := int64(0); k < 2; k++ {
+				x.Append(a[i]*b[j]*cv[k], i, j, k)
+			}
+		}
+	}
+	x.Coalesce()
+	c := haten2.NewCluster(haten2.ClusterConfig{Machines: 2})
+	res, err := haten2.ParafacN(c, x, 1, haten2.Options{MaxIters: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit := res.Fit(x); fit < 0.999 {
+		t.Fatalf("3-way via N API fit %v", fit)
+	}
+}

@@ -1,0 +1,147 @@
+package haten2_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	haten2 "github.com/haten2/haten2"
+)
+
+func TestParafacSaveLoadRoundTrip(t *testing.T) {
+	x := smallTensor()
+	c := haten2.NewCluster(haten2.ClusterConfig{Machines: 2})
+	res, err := haten2.Parafac(c, x, 1, haten2.Options{Variant: haten2.DRI, MaxIters: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := haten2.LoadParafac(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ and factors must be bit-identical.
+	for i, v := range res.Lambda {
+		if back.Lambda[i] != v {
+			t.Fatalf("lambda[%d] %v != %v", i, back.Lambda[i], v)
+		}
+	}
+	for m := 0; m < 3; m++ {
+		a, b := res.Factors[m], back.Factors[m]
+		if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+			t.Fatalf("factor %d shape mismatch", m)
+		}
+		for i := 0; i < a.Rows(); i++ {
+			for j := 0; j < a.Cols(); j++ {
+				if a.At(i, j) != b.At(i, j) {
+					t.Fatalf("factor %d entry (%d,%d) differs", m, i, j)
+				}
+			}
+		}
+	}
+	// The reloaded model predicts and fits identically.
+	if math.Abs(back.Fit(x)-res.Fit(x)) > 1e-15 {
+		t.Fatal("fit differs after reload")
+	}
+	if back.Predict(1, 1, 1) != res.Predict(1, 1, 1) {
+		t.Fatal("prediction differs after reload")
+	}
+}
+
+func TestTuckerSaveLoadRoundTrip(t *testing.T) {
+	x := smallTensor()
+	c := haten2.NewCluster(haten2.ClusterConfig{Machines: 2})
+	res, err := haten2.Tucker(c, x, [3]int{1, 2, 1}, haten2.Options{Variant: haten2.DRI, MaxIters: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := haten2.LoadTucker(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, q1, r1 := res.Core.Dims()
+	p2, q2, r2 := back.Core.Dims()
+	if p1 != p2 || q1 != q2 || r1 != r2 {
+		t.Fatalf("core dims differ: %d%d%d vs %d%d%d", p1, q1, r1, p2, q2, r2)
+	}
+	if back.Core.At(0, 1, 0) != res.Core.At(0, 1, 0) {
+		t.Fatal("core entry differs")
+	}
+	if math.Abs(back.Fit(x)-res.Fit(x)) > 1e-15 {
+		t.Fatal("fit differs after reload")
+	}
+	if back.Predict(2, 1, 0) != res.Predict(2, 1, 0) {
+		t.Fatal("prediction differs after reload")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-model\n",
+		"haten2-parafac-v1\nrank 0\n",
+		"haten2-parafac-v1\nrank 2\n1.0\n", // wrong lambda arity
+		"haten2-tucker-v1\ncore 0 1 1\n",
+		"haten2-parafac-v1\nrank 1\n1\nmatrix 2 2\n1 2\n",         // truncated matrix
+		"haten2-parafac-v1\nrank 1\n1\nmatrix 1 2\n1 2\n",         // factor cols != rank
+		"haten2-tucker-v1\ncore 1 1 1\n1\nmatrix 2 2\n1 2\n3 4\n", // factor cols != core dim
+	}
+	for i, in := range cases {
+		if _, err := haten2.LoadParafac(strings.NewReader(in)); err == nil {
+			if _, err2 := haten2.LoadTucker(strings.NewReader(in)); err2 == nil {
+				t.Fatalf("case %d: garbage accepted by both loaders", i)
+			}
+		}
+	}
+	// Cross-format: a Tucker file must be rejected by LoadParafac.
+	x := smallTensor()
+	c := haten2.NewCluster(haten2.ClusterConfig{Machines: 1})
+	res, err := haten2.Tucker(c, x, [3]int{1, 1, 1}, haten2.Options{Variant: haten2.DRI, MaxIters: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := haten2.LoadParafac(&buf); err == nil {
+		t.Fatal("LoadParafac accepted a Tucker file")
+	}
+}
+
+func TestSaveLoadResumeWorkflow(t *testing.T) {
+	// The full checkpoint story: run a few iterations, save, reload,
+	// resume, and confirm the fit keeps improving from where it left off.
+	x := smallTensor()
+	c := haten2.NewCluster(haten2.ClusterConfig{Machines: 2})
+	first, err := haten2.Parafac(c, x, 1, haten2.Options{Variant: haten2.DRI, MaxIters: 2, Seed: 1, TrackFit: true, Tol: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := first.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := haten2.LoadParafac(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := haten2.ResumeParafac(c, x, loaded, haten2.Options{Variant: haten2.DRI, MaxIters: 20, TrackFit: true, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Fit(x) < first.Fit(x)-1e-6 {
+		t.Fatalf("resume regressed: %v -> %v", first.Fit(x), resumed.Fit(x))
+	}
+	if resumed.Fit(x) < 0.999 {
+		t.Fatalf("resumed run did not finish the job: fit %v", resumed.Fit(x))
+	}
+}
