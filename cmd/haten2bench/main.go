@@ -8,9 +8,15 @@
 //	haten2bench -exp table3,fig8 # a subset
 //	haten2bench -full            # larger sweeps
 //	haten2bench -json            # machine-readable output
+//	haten2bench -exp mr -mrout BENCH_mr.json  # engine wall-clock sweep
 //
 // Experiment ids: table2 table3 table4 table5 table6 table7 table8
-// fig1a fig1b fig1c fig7a fig7b fig7c fig8 nell ablation combiner.
+// fig1a fig1b fig1c fig7a fig7b fig7c fig8 nell ablation combiner mr.
+//
+// The mr experiment measures real host wall-clock (not simulated time)
+// of the MapReduce engine across a GOMAXPROCS sweep; -mrout additionally
+// writes its report to the named JSON file (BENCH_mr.json by
+// convention) so the speedup is recorded per machine.
 package main
 
 import (
@@ -29,15 +35,16 @@ func main() {
 		full    = flag.Bool("full", false, "run the larger sweeps")
 		seed    = flag.Int64("seed", 42, "data generation seed")
 		jsonOut = flag.Bool("json", false, "emit reports as JSON instead of tables")
+		mrOut   = flag.String("mrout", "", "also write the mr experiment's report to this JSON file")
 	)
 	flag.Parse()
-	if err := run(*exp, *full, *seed, *jsonOut); err != nil {
+	if err := run(*exp, *full, *seed, *jsonOut, *mrOut); err != nil {
 		fmt.Fprintln(os.Stderr, "haten2bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, full bool, seed int64, jsonOut bool) error {
+func run(exp string, full bool, seed int64, jsonOut bool, mrOut string) error {
 	cfg := bench.Config{Full: full, Seed: seed}
 	type runner func(bench.Config) (*bench.Report, error)
 	registry := map[string]runner{
@@ -58,11 +65,13 @@ func run(exp string, full bool, seed int64, jsonOut bool) error {
 		"ablation": bench.Ablation,
 		"combiner": bench.CombinerAblation,
 		"nell":     bench.TableNELL,
+		"mr":       bench.MRBench,
 	}
 	order := []string{
 		"table2", "table3", "table4", "table5",
 		"fig1a", "fig1b", "fig1c", "fig7a", "fig7b", "fig7c", "fig8",
 		"table6", "table7", "table8", "nell", "ablation", "combiner",
+		"mr",
 	}
 	var ids []string
 	if exp == "all" {
@@ -91,6 +100,15 @@ func run(exp string, full bool, seed int64, jsonOut bool) error {
 		} else {
 			rep.Print(os.Stdout)
 			fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
+		}
+		if id == "mr" && mrOut != "" {
+			b, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(mrOut, append(b, '\n'), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", mrOut, err)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/haten2/haten2/internal/core"
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+)
+
+// MRBench measures the real wall-clock time of one full PARAFAC-DRI
+// iteration (all three mode contractions) across a GOMAXPROCS sweep —
+// the engine-parallelism experiment behind BENCH_mr.json. Unlike every
+// other experiment in this package, the quantity of interest is host
+// wall time, not simulated seconds: the simulated cost model is a pure
+// function of the job counters and is reported once as a cross-check
+// that real parallelism leaves it untouched.
+//
+// The run at each GOMAXPROCS setting also re-verifies the engine's
+// determinism guarantee: the per-job counters must be bit-identical
+// across all settings.
+func MRBench(cfg Config) (*Report, error) {
+	dim, nnz := int64(200), 200_000
+	if cfg.Full {
+		dim, nnz = 300, 1_000_000
+	}
+	const rank = 4
+	x := gen.Random(cfg.Seed, [3]int64{dim, dim, dim}, nnz)
+	other := [3][2]int{{1, 2}, {0, 2}, {0, 1}}
+
+	type outcome struct {
+		wall time.Duration
+		sim  float64
+		jobs []mr.JobStats
+	}
+	run := func(procs int) (outcome, error) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		// No shuffle cap: DRI's PairwiseMerge legitimately moves
+		// 2·nnz·R records per contraction.
+		c := mr.NewCluster(mr.Config{Machines: 8, SlotsPerMachine: 4})
+		s, err := core.Stage(c, "X", x)
+		if err != nil {
+			return outcome{}, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var factors [3]*matrix.Matrix
+		for m := 0; m < 3; m++ {
+			factors[m] = matrix.Random(int(dim), rank, rng)
+		}
+		iteration := func() error {
+			for n := 0; n < 3; n++ {
+				o := other[n]
+				if _, err := core.ParafacContract(s, n, factors[o[0]], factors[o[1]], core.DRI); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// One untimed warm-up iteration so every setting is measured
+		// with the cluster's shuffle hints populated (steady-state ALS
+		// behavior) and the allocator warm.
+		if err := iteration(); err != nil {
+			return outcome{}, err
+		}
+		c.ResetCounters()
+		start := time.Now()
+		if err := iteration(); err != nil {
+			return outcome{}, err
+		}
+		wall := time.Since(start)
+		jobs := c.Jobs()
+		// Staged factor files get fresh temp names each iteration
+		// (embedded in some job names); blank them so the comparison
+		// covers exactly the counters.
+		for i := range jobs {
+			jobs[i].Name = ""
+		}
+		return outcome{wall: wall, sim: c.Totals().SimSeconds, jobs: jobs}, nil
+	}
+
+	procs := procSweep()
+	rep := &Report{
+		ID:    "mr",
+		Title: fmt.Sprintf("engine wall-clock, one PARAFAC-DRI iteration (%s nnz, rank %d)", gen.Human(int64(nnz)), rank),
+		Headers: []string{
+			"GOMAXPROCS", "wall", "speedup", "sim-time", "counters",
+		},
+	}
+	var base outcome
+	for i, p := range procs {
+		out, err := run(p)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = out
+		}
+		identical := reflect.DeepEqual(base.jobs, out.jobs) && base.sim == out.sim
+		det := "identical"
+		if !identical {
+			det = "DIVERGED"
+			rep.Notes = append(rep.Notes, fmt.Sprintf("DETERMINISM VIOLATION at GOMAXPROCS=%d: job counters differ from the GOMAXPROCS=%d baseline", p, procs[0]))
+		}
+		rep.Rows = append(rep.Rows, []string{
+			count(p),
+			fmt.Sprintf("%.3fs", out.wall.Seconds()),
+			fmt.Sprintf("%.2fx", base.wall.Seconds()/out.wall.Seconds()),
+			seconds(out.sim),
+			det,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("host has %d CPU core(s); wall-clock speedup is bounded by physical cores, simulated time is invariant by construction", runtime.NumCPU()),
+	)
+	if runtime.NumCPU() < 4 {
+		rep.Notes = append(rep.Notes,
+			"the ≥2x speedup acceptance criterion applies on hosts with ≥4 cores; rerun `haten2bench -exp mr` there (or `go test -run - -bench ParafacDRIIteration -cpu 1,4 ./internal/mr`)")
+	}
+	return rep, nil
+}
+
+// procSweep returns the GOMAXPROCS settings to measure: 1, 2, 4, and
+// all cores, clamped to the host's CPU count and deduplicated.
+func procSweep() []int {
+	n := runtime.NumCPU()
+	set := map[int]bool{1: true}
+	for _, p := range []int{2, 4, n} {
+		if p >= 1 && p <= n {
+			set[p] = true
+		}
+	}
+	ps := make([]int, 0, len(set))
+	for p := range set {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	return ps
+}

@@ -51,6 +51,12 @@ const (
 	nyEntryBytes = 8 + (maxOrder-1)*4 + 8
 )
 
+// Hoisted size callbacks, shared by every N-way job (see the 3-way
+// counterparts in records.go).
+func nEntrySize(NEntry) int64   { return nEntryBytes }
+func nhEntrySize(NHEntry) int64 { return nhEntryBytes }
+func nyEntrySize(NYEntry) int64 { return nyEntryBytes }
+
 // StagedN is an order-N tensor staged on a cluster's DFS.
 type StagedN struct {
 	Name    string
@@ -74,7 +80,7 @@ func StageN(c *mr.Cluster, name string, x *tensor.Tensor) (*StagedN, error) {
 		e.Val = x.Value(p)
 		entries[p] = e
 	}
-	if err := mr.WriteFile(c, name, entries, func(NEntry) int64 { return nEntryBytes }); err != nil {
+	if err := mr.WriteFile(c, name, entries, nEntrySize); err != nil {
 		return nil, err
 	}
 	return &StagedN{Name: name, Dims: x.Dims(), NNZ: int64(x.NNZ()), cluster: c}, nil
@@ -148,7 +154,7 @@ func imhpN(c *mr.Cluster, xFile string, modes []int, matFiles, outFiles []string
 		},
 		Partition: mr.HashPair,
 		KVSize:    nsvalSize,
-		OutSize:   func(NHEntry) int64 { return nhEntryBytes },
+		OutSize:   nhEntrySize,
 	})
 	if err != nil {
 		return err
@@ -159,7 +165,7 @@ func imhpN(c *mr.Cluster, xFile string, modes []int, matFiles, outFiles []string
 		bySide[h.Side] = append(bySide[h.Side], h)
 	}
 	for s, f := range outFiles {
-		if err := mr.WriteFile(c, f, bySide[s], func(NHEntry) int64 { return nhEntryBytes }); err != nil {
+		if err := mr.WriteFile(c, f, bySide[s], nhEntrySize); err != nil {
 			return err
 		}
 	}
@@ -195,22 +201,31 @@ func crossMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, error)
 				val float64
 			}
 			// Per original coordinate, per side: the (col, val) pairs.
+			// Coordinates and column cells are walked in first-seen order
+			// (vals order is fixed by the engine), never in map order, so
+			// summation and emission order are identical on every run.
 			bySide := make(map[[maxOrder]int64][][]cv)
+			var idxOrder [][maxOrder]int64
 			for _, v := range vals {
 				side := int(v.col >> 16)
 				col := v.col & 0xffff
 				lists, ok := bySide[v.idx]
 				if !ok {
 					lists = make([][]cv, sides)
+					idxOrder = append(idxOrder, v.idx)
 				}
 				lists[side] = append(lists[side], cv{col, v.val})
 				bySide[v.idx] = lists
 			}
 			acc := make(map[[maxOrder - 1]int32]float64)
+			var accOrder [][maxOrder - 1]int32
 			var cols [maxOrder - 1]int32
 			var walk func(idxLists [][]cv, s int, prod float64)
 			walk = func(idxLists [][]cv, s int, prod float64) {
 				if s == sides {
+					if _, seen := acc[cols]; !seen {
+						accOrder = append(accOrder, cols)
+					}
 					acc[cols] += prod
 					return
 				}
@@ -219,7 +234,8 @@ func crossMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, error)
 					walk(idxLists, s+1, prod*e.val)
 				}
 			}
-			for _, lists := range bySide {
+			for _, idx := range idxOrder {
+				lists := bySide[idx]
 				complete := true
 				for s := 0; s < sides; s++ {
 					if len(lists[s]) == 0 {
@@ -231,15 +247,15 @@ func crossMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, error)
 					walk(lists, 0, 1)
 				}
 			}
-			for qc, v := range acc {
-				if v != 0 {
+			for _, qc := range accOrder {
+				if v := acc[qc]; v != 0 {
 					emit(NYEntry{I: key[0], Cols: qc, Val: v})
 				}
 			}
 		},
 		Partition: mr.HashPair,
 		KVSize:    nsvalSize,
-		OutSize:   func(NYEntry) int64 { return nyEntryBytes },
+		OutSize:   nyEntrySize,
 	})
 	return out, err
 }
@@ -264,17 +280,23 @@ func pairwiseMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, err
 		Name:   fmt.Sprintf("pairwiseMergeN(mode=%d)", n),
 		Inputs: inputs,
 		Reduce: func(key [2]int64, vals []nsval, emit func(NYEntry)) {
+			// Coordinates are summed in first-seen order (vals order is
+			// fixed by the engine), never in map order, keeping the
+			// floating-point total identical on every run.
 			prod := make(map[[maxOrder]int64][]float64)
+			var idxOrder [][maxOrder]int64
 			for _, v := range vals {
 				p, ok := prod[v.idx]
 				if !ok {
 					p = make([]float64, sides)
 					prod[v.idx] = p
+					idxOrder = append(idxOrder, v.idx)
 				}
 				p[v.col] += v.val
 			}
 			var sum float64
-			for _, p := range prod {
+			for _, idx := range idxOrder {
+				p := prod[idx]
 				term := 1.0
 				for s := 0; s < sides; s++ {
 					term *= p[s]
@@ -292,7 +314,7 @@ func pairwiseMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, err
 		},
 		Partition: mr.HashPair,
 		KVSize:    nsvalSize,
-		OutSize:   func(NYEntry) int64 { return nyEntryBytes },
+		OutSize:   nyEntrySize,
 	})
 	return out, err
 }

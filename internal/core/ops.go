@@ -80,7 +80,7 @@ func naiveContract(c *mr.Cluster, inFiles []string, dims [3]int64, m int, vecFil
 		},
 		Partition:           mr.HashTriple,
 		KVSize:              svalSize,
-		OutSize:             func(Entry) int64 { return entryBytes },
+		OutSize:             entrySize,
 		Output:              outFile,
 		ExtraShuffleRecords: phantomKeys * vecLen,
 		ExtraShuffleBytes:   phantomKeys * vecLen * matEntryBytes,
@@ -136,7 +136,7 @@ func hadamardVec(c *mr.Cluster, inFile string, m int, colIdx int32, vecFile stri
 		},
 		Partition: mr.HashTriple,
 		KVSize:    svalSize,
-		OutSize:   func(HEntry) int64 { return hEntryBytes },
+		OutSize:   hEntrySize,
 		Output:    outFile,
 	})
 	return err
@@ -176,7 +176,7 @@ func collapse(c *mr.Cluster, inFiles []string, m int, outFile string) ([]Entry, 
 		},
 		Partition: mr.HashTriple,
 		KVSize:    svalSize,
-		OutSize:   func(Entry) int64 { return entryBytes },
+		OutSize:   entrySize,
 		Output:    outFile,
 	})
 	return out, err
@@ -188,6 +188,8 @@ type taggedH struct {
 	side uint8 // 1 for 𝒯′, 2 for 𝒯″
 	h    HEntry
 }
+
+func taggedHSize(taggedH) int64 { return hEntryBytes }
 
 // imhp is HaTen2-DRI's integrated job (§III-B4): it computes both
 // 𝒯′ = 𝒳 ∗_{m1} Bᵀ and 𝒯″ = bin(𝒳) ∗_{m2} Cᵀ in a single MapReduce job
@@ -248,7 +250,7 @@ func imhp(c *mr.Cluster, xFile string, m1 int, bFile string, m2 int, cFile strin
 		},
 		Partition: mr.HashTriple,
 		KVSize:    svalSize,
-		OutSize:   func(taggedH) int64 { return hEntryBytes },
+		OutSize:   taggedHSize,
 	})
 	if err != nil {
 		return err
@@ -263,10 +265,10 @@ func imhp(c *mr.Cluster, xFile string, m1 int, bFile string, m2 int, cFile strin
 			t2 = append(t2, o.h)
 		}
 	}
-	if err := mr.WriteFile(c, t1File, t1, func(HEntry) int64 { return hEntryBytes }); err != nil {
+	if err := mr.WriteFile(c, t1File, t1, hEntrySize); err != nil {
 		return err
 	}
-	return mr.WriteFile(c, t2File, t2, func(HEntry) int64 { return hEntryBytes })
+	return mr.WriteFile(c, t2File, t2, hEntrySize)
 }
 
 // crossMerge is CrossMerge(𝒯′, 𝒯″)₍ₙ₎ (Definition 3), the final step of
@@ -292,36 +294,49 @@ func crossMerge(c *mr.Cluster, t1Files, t2Files []string, n int) ([]YEntry, erro
 				col int32
 				val float64
 			}
+			// Coordinates and (q, r) cells are walked in first-seen order
+			// (vals order is fixed by the engine), never in map order, so
+			// each cell's floating-point summation order — and the
+			// emission order — is identical on every run.
 			t1 := make(map[[3]int64][]cv)
 			t2 := make(map[[3]int64][]cv)
+			var idxOrder [][3]int64
 			for _, v := range vals {
 				if v.tag == tagT1 {
+					if _, ok := t1[v.idx]; !ok {
+						idxOrder = append(idxOrder, v.idx)
+					}
 					t1[v.idx] = append(t1[v.idx], cv{v.col, v.val})
 				} else {
 					t2[v.idx] = append(t2[v.idx], cv{v.col, v.val})
 				}
 			}
 			acc := make(map[[2]int32]float64)
-			for idx, qs := range t1 {
+			var accOrder [][2]int32
+			for _, idx := range idxOrder {
 				rs, ok := t2[idx]
 				if !ok {
 					continue
 				}
-				for _, qv := range qs {
+				for _, qv := range t1[idx] {
 					for _, rv := range rs {
-						acc[[2]int32{qv.col, rv.col}] += qv.val * rv.val
+						qr := [2]int32{qv.col, rv.col}
+						if _, seen := acc[qr]; !seen {
+							accOrder = append(accOrder, qr)
+						}
+						acc[qr] += qv.val * rv.val
 					}
 				}
 			}
-			for qr, v := range acc {
-				if v != 0 {
+			for _, qr := range accOrder {
+				if v := acc[qr]; v != 0 {
 					emit(YEntry{I: key[0], Q: qr[0], R: qr[1], Val: v})
 				}
 			}
 		},
 		Partition: mr.HashTriple,
 		KVSize:    svalSize,
-		OutSize:   func(YEntry) int64 { return yEntryBytes },
+		OutSize:   yEntrySize,
 	})
 	return out, err
 }
@@ -362,7 +377,7 @@ func pairwiseMerge(c *mr.Cluster, t1Files, t2Files []string, n int) ([]YEntry, e
 		},
 		Partition: mr.HashTriple,
 		KVSize:    svalSize,
-		OutSize:   func(YEntry) int64 { return yEntryBytes },
+		OutSize:   yEntrySize,
 	})
 	return out, err
 }

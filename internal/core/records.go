@@ -63,6 +63,16 @@ const (
 	yEntryBytes   = 24 // int64 + 2×int32 + float64
 )
 
+// Package-level size functions for the record types above. Every job a
+// plan runs passes these as its KVSize/OutSize callbacks; hoisting them
+// here (instead of building a fresh closure at each call site) keeps
+// the per-record accounting calls allocation-free and lets all jobs of
+// an ALS run share the same function values.
+func entrySize(Entry) int64       { return entryBytes }
+func matEntrySize(MatEntry) int64 { return matEntryBytes }
+func hEntrySize(HEntry) int64     { return hEntryBytes }
+func yEntrySize(YEntry) int64     { return yEntryBytes }
+
 // sval is the single shuffle value type every HaTen2 job uses, tagged by
 // which input the record came from.
 type sval struct {
@@ -106,7 +116,7 @@ func Stage(c *mr.Cluster, name string, x *tensor.Tensor) (*Staged, error) {
 		idx := x.Index(p)
 		entries[p] = Entry{Idx: [3]int64{idx[0], idx[1], idx[2]}, Val: x.Value(p)}
 	}
-	if err := mr.WriteFile(c, name, entries, func(Entry) int64 { return entryBytes }); err != nil {
+	if err := mr.WriteFile(c, name, entries, entrySize); err != nil {
 		return nil, err
 	}
 	d := x.Dims()
@@ -170,7 +180,7 @@ func stageMatrix(c *mr.Cluster, name string, m *matrix.Matrix) error {
 			cells = append(cells, MatEntry{Row: int64(i), Col: int32(j), Val: v})
 		}
 	}
-	return mr.WriteFile(c, name, cells, func(MatEntry) int64 { return matEntryBytes })
+	return mr.WriteFile(c, name, cells, matEntrySize)
 }
 
 // stageColumn writes one column of a factor matrix (the per-column jobs
@@ -180,5 +190,5 @@ func stageColumn(c *mr.Cluster, name string, m *matrix.Matrix, col int) error {
 	for i := 0; i < m.Rows; i++ {
 		cells = append(cells, MatEntry{Row: int64(i), Col: int32(col), Val: m.At(i, col)})
 	}
-	return mr.WriteFile(c, name, cells, func(MatEntry) int64 { return matEntryBytes })
+	return mr.WriteFile(c, name, cells, matEntrySize)
 }

@@ -164,29 +164,45 @@ func (fs *FS) ReadAll(name string) ([]Record, error) {
 	return f.records, nil
 }
 
-// Splits partitions a file's records into n contiguous input splits for
-// the MapReduce engine, charging one full read of the file. Some splits
-// may be empty when the file has fewer records than n.
-func (fs *FS) Splits(name string, n int) ([][]Record, error) {
+// SplitRanges partitions a file into n contiguous input splits without
+// copying: it returns the file's record slice (aliasing file storage;
+// callers must not mutate it) together with n+1 split boundaries, so
+// split i is recs[bounds[i]:bounds[i+1]]. One full read of the file is
+// charged, exactly as Splits does. Some splits may be empty when the
+// file has fewer records than n.
+func (fs *FS) SplitRanges(name string, n int) (recs []Record, bounds []int, err error) {
 	if n <= 0 {
 		n = 1
 	}
-	recs, err := fs.ReadAll(name)
+	recs, err = fs.ReadAll(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	out := make([][]Record, n)
+	bounds = make([]int, n+1)
 	per := (len(recs) + n - 1) / n
-	for i := 0; i < n; i++ {
-		lo := i * per
-		if lo > len(recs) {
-			lo = len(recs)
-		}
-		hi := lo + per
+	for i := 1; i <= n; i++ {
+		hi := i * per
 		if hi > len(recs) {
 			hi = len(recs)
 		}
-		out[i] = recs[lo:hi]
+		bounds[i] = hi
+	}
+	return recs, bounds, nil
+}
+
+// Splits partitions a file's records into n contiguous input splits for
+// the MapReduce engine, charging one full read of the file. Some splits
+// may be empty when the file has fewer records than n. The splits alias
+// file storage; callers needing to avoid the per-split slice headers
+// should use SplitRanges instead.
+func (fs *FS) Splits(name string, n int) ([][]Record, error) {
+	recs, bounds, err := fs.SplitRanges(name, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Record, len(bounds)-1)
+	for i := range out {
+		out[i] = recs[bounds[i]:bounds[i+1]]
 	}
 	return out, nil
 }

@@ -1,0 +1,110 @@
+package dfs
+
+import "testing"
+
+func writeRecords(t *testing.T, fs *FS, name string, n int) {
+	t.Helper()
+	w, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		w.Append(i, 8)
+	}
+	w.Close()
+}
+
+// TestSplitRangesBoundaries pins the zero-copy split contract: the
+// returned slice aliases file storage and the boundaries cover every
+// record contiguously, matching what Splits materializes.
+func TestSplitRangesBoundaries(t *testing.T) {
+	fs := New(Options{})
+	writeRecords(t, fs, "f", 10)
+	recs, bounds, err := fs.SplitRanges("f", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 6, 9, 10}
+	if len(bounds) != len(want) {
+		t.Fatalf("bounds=%v want %v", bounds, want)
+	}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("bounds=%v want %v", bounds, want)
+		}
+	}
+	if len(recs) != 10 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	// Zero-copy: the same backing array as a plain read.
+	all, err := fs.ReadAll("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &recs[0] != &all[0] {
+		t.Fatal("SplitRanges copied the record slice")
+	}
+	// The ranges must agree with the materialized Splits view.
+	splits, err := fs.Splits("f", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range splits {
+		if len(sp) != bounds[i+1]-bounds[i] {
+			t.Fatalf("split %d has %d records, range says %d", i, len(sp), bounds[i+1]-bounds[i])
+		}
+		for j := range sp {
+			if sp[j].Data != recs[bounds[i]+j].Data {
+				t.Fatalf("split %d record %d differs from range view", i, j)
+			}
+		}
+	}
+}
+
+// TestSplitRangesChargesOneRead verifies the accounting contract: one
+// SplitRanges call costs exactly one full read of the file.
+func TestSplitRangesChargesOneRead(t *testing.T) {
+	fs := New(Options{})
+	writeRecords(t, fs, "f", 10)
+	fs.ResetStats()
+	if _, _, err := fs.SplitRanges("f", 4); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.BytesRead != 80 || st.RecordsRead != 10 {
+		t.Fatalf("one split scan should charge one full read, got %+v", st)
+	}
+}
+
+// TestSplitRangesSmallAndEmpty covers files with fewer records than
+// splits (trailing empty splits) and missing files.
+func TestSplitRangesSmallAndEmpty(t *testing.T) {
+	fs := New(Options{})
+	writeRecords(t, fs, "tiny", 2)
+	recs, bounds, err := fs.SplitRanges("tiny", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || len(bounds) != 6 {
+		t.Fatalf("recs=%d bounds=%v", len(recs), bounds)
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != 2 {
+		t.Fatalf("bounds must cover the file: %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			t.Fatalf("bounds must be nondecreasing: %v", bounds)
+		}
+	}
+	// n <= 0 degrades to a single split.
+	_, bounds, err = fs.SplitRanges("tiny", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 2 || bounds[1] != 2 {
+		t.Fatalf("n=0 should yield one split: %v", bounds)
+	}
+	if _, _, err := fs.SplitRanges("absent", 3); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

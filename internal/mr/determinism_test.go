@@ -1,0 +1,264 @@
+package mr
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestExhaustionStatsDeterministic pins the deterministic
+// resource-limit accounting: when MaxShuffleRecords trips, the recorded
+// ShuffleRecords/ShuffleBytes must be the in-order prefix through the
+// tripping map task — identical run-to-run and across GOMAXPROCS
+// settings, even though tasks complete in scheduler order.
+func TestExhaustionStatsDeterministic(t *testing.T) {
+	run := func(procs int) (int64, int64) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		// 8 workers → 8 map tasks of 8 records each; every record fans
+		// out ×20, so tasks contribute 160 records apiece and the
+		// prefix 160, 320, 480, 640 crosses the 500-record limit at
+		// task index 3.
+		c := NewCluster(Config{Machines: 4, SlotsPerMachine: 2, MaxShuffleRecords: 500})
+		items := make([]int64, 64)
+		for i := range items {
+			items[i] = int64(i)
+		}
+		if err := WriteFile(c, "in", items, func(int64) int64 { return 8 }); err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := Run(c, Job[int64, int64, int64]{
+			Name: "explode",
+			Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) {
+				for i := int64(0); i < 20; i++ {
+					emit(r.(int64)*20+i, 1)
+				}
+			}}},
+			Reduce:    func(k int64, vs []int64, emit func(int64)) { emit(k) },
+			Partition: HashInt64,
+		})
+		var re *ErrResourceExhausted
+		if !errors.As(err, &re) {
+			t.Fatalf("want ErrResourceExhausted, got %v", err)
+		}
+		return st.ShuffleRecords, st.ShuffleBytes
+	}
+	wantRecords, wantBytes := run(1)
+	if wantRecords != 640 {
+		t.Fatalf("prefix through the tripping task should count 4 tasks x 160 records, got %d", wantRecords)
+	}
+	for _, procs := range []int{1, 2, 4, 8} {
+		for rep := 0; rep < 5; rep++ {
+			gotRecords, gotBytes := run(procs)
+			if gotRecords != wantRecords || gotBytes != wantBytes {
+				t.Fatalf("GOMAXPROCS=%d rep %d: stats %d/%d differ from %d/%d",
+					procs, rep, gotRecords, gotBytes, wantRecords, wantBytes)
+			}
+		}
+	}
+}
+
+// TestExhaustionByPhantomChargeOnly covers the corner where
+// ExtraShuffleRecords alone exceeds the limit: no map task output is
+// counted, so the recorded shuffle is exactly the phantom charge.
+func TestExhaustionByPhantomChargeOnly(t *testing.T) {
+	c := NewCluster(Config{Machines: 2, MaxShuffleRecords: 50})
+	WriteFile(c, "in", []int64{1, 2}, func(int64) int64 { return 8 })
+	_, st, err := Run(c, Job[int64, int64, int64]{
+		Name:                "phantom-only",
+		Inputs:              []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(0, 1) }}},
+		Reduce:              func(k int64, vs []int64, emit func(int64)) { emit(k) },
+		Partition:           HashInt64,
+		ExtraShuffleRecords: 200,
+		ExtraShuffleBytes:   1600,
+	})
+	var re *ErrResourceExhausted
+	if !errors.As(err, &re) {
+		t.Fatalf("want ErrResourceExhausted, got %v", err)
+	}
+	if st.ShuffleRecords != 200 || st.ShuffleBytes != 1600 {
+		t.Fatalf("phantom-only exhaustion should count just the charge: %+v", st)
+	}
+}
+
+// TestCombinerExpandsValues covers a combiner that returns more than
+// one value per key — the output legitimately grows past the original
+// bucket.
+func TestCombinerExpandsValues(t *testing.T) {
+	c := NewCluster(Config{Machines: 1, SlotsPerMachine: 1})
+	WriteFile(c, "in", []int64{0}, func(int64) int64 { return 8 })
+	out, st, err := Run(c, Job[int64, int64, int64]{
+		Name: "expand",
+		Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) {
+			for k := int64(0); k < 4; k++ {
+				emit(k, 5)
+			}
+		}}},
+		// Split each key's single value into three parts: 4 pairs in,
+		// 12 pairs out of the map task.
+		Combine: func(k int64, vs []int64) []int64 {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			return []int64{s - 2, 1, 1}
+		},
+		Reduce: func(k int64, vs []int64, emit func(int64)) {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+		Partition: HashInt64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShuffleRecords != 12 {
+		t.Fatalf("expanding combiner should shuffle 12 records, got %d", st.ShuffleRecords)
+	}
+	if len(out) != 4 {
+		t.Fatalf("out=%v", out)
+	}
+	for _, o := range out {
+		if o != 5 {
+			t.Fatalf("expansion must preserve per-key totals: %v", out)
+		}
+	}
+}
+
+// TestCombinerScratchReuseAcrossBuckets runs a combiner job whose map
+// task fills many reducer buckets, so the shared per-task scratch is
+// exercised across consecutive buckets with different key sets.
+func TestCombinerScratchReuseAcrossBuckets(t *testing.T) {
+	c := NewCluster(Config{Machines: 4, SlotsPerMachine: 4})
+	items := make([]int64, 256)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	WriteFile(c, "in", items, func(int64) int64 { return 8 })
+	out, _, err := Run(c, Job[int64, int64, int64]{
+		Name: "scratch",
+		Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) {
+			emit(r.(int64)%32, 1)
+		}}},
+		Combine: func(k int64, vs []int64) []int64 {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			return []int64{s}
+		},
+		Reduce: func(k int64, vs []int64, emit func(int64)) {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+		Partition: HashInt64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, o := range out {
+		total += o
+	}
+	if len(out) != 32 || total != 256 {
+		t.Fatalf("len=%d total=%d", len(out), total)
+	}
+}
+
+// TestConcurrentRunsAndSnapshots exercises ResetCounters, Jobs, and
+// Totals while jobs run concurrently (run under -race in CI). Jobs must
+// return an isolated copy, and the final log must reflect exactly the
+// jobs recorded after the last reset.
+func TestConcurrentRunsAndSnapshots(t *testing.T) {
+	c := testCluster(2)
+	WriteFile(c, "in", []int64{1, 2, 3, 4}, func(int64) int64 { return 8 })
+	job := func(name string) Job[int64, int64, int64] {
+		return Job[int64, int64, int64]{
+			Name:   name,
+			Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(r.(int64), 1) }}},
+			Reduce: func(k int64, vs []int64, emit func(int64)) {
+				var s int64
+				for _, v := range vs {
+					s += v
+				}
+				emit(s)
+			},
+			Partition: HashInt64,
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, _, err := Run(c, job("concurrent")); err != nil {
+					t.Error(err)
+					return
+				}
+				// Snapshots taken mid-flight must be internally
+				// consistent and safe to mutate.
+				jobs := c.Jobs()
+				for _, j := range jobs {
+					if j.Name != "concurrent" {
+						t.Errorf("foreign job in log: %q", j.Name)
+						return
+					}
+				}
+				if len(jobs) > 0 {
+					jobs[0].Name = "mutated"
+					if got := c.Jobs(); len(got) > 0 && got[0].Name == "mutated" {
+						t.Error("Jobs() returned an aliased slice")
+						return
+					}
+				}
+				_ = c.Totals()
+				if i == 3 {
+					c.ResetCounters()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Quiesced: the job log and totals must agree with each other.
+	jobs := c.Jobs()
+	tot := c.Totals()
+	if len(jobs) != tot.Jobs {
+		t.Fatalf("job log has %d entries, totals say %d", len(jobs), tot.Jobs)
+	}
+	c.ResetCounters()
+	if len(c.Jobs()) != 0 || c.Totals().Jobs != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+	// The engine still works after resets, and hints survive them.
+	if _, st, err := Run(c, job("concurrent")); err != nil || st.OutputRecords != 4 {
+		t.Fatalf("post-reset run: st=%+v err=%v", st, err)
+	}
+}
+
+// TestHintsPresizeSecondRun re-runs the same-named job and checks the
+// results are identical — the hint path must be invisible apart from
+// buffer capacities.
+func TestHintsPresizeSecondRun(t *testing.T) {
+	c := testCluster(2)
+	lines := []string{"a b c d", "b c d e", "c d e f", "g h", "a a a a a"}
+	first := runWordCount(t, c, lines)
+	if err := c.FS().Delete("lines"); err != nil {
+		t.Fatal(err)
+	}
+	second := runWordCount(t, c, lines)
+	if len(first) != len(second) {
+		t.Fatalf("hinted rerun changed results: %v vs %v", first, second)
+	}
+	for k, v := range first {
+		if second[k] != v {
+			t.Fatalf("hinted rerun changed count[%q]: %d vs %d", k, v, second[k])
+		}
+	}
+}

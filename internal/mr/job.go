@@ -98,12 +98,19 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	}
 
 	st := JobStats{Name: job.Name, ReduceTasks: reducers}
+	hint, hasHint := c.hint(job.Name)
+	bucketCap := 0
+	if hasHint {
+		bucketCap = int(hint.pairsPerBucket) + 1
+	}
 
 	// --- Map phase -------------------------------------------------------
 	// Split every input into one split per worker and run map tasks in a
-	// bounded pool. Each task fills private per-reducer buckets; the
-	// buckets are concatenated in task order afterwards so the engine is
-	// deterministic regardless of scheduling.
+	// bounded pool. Each task fills private per-reducer buckets; each
+	// reducer later walks its buckets in task order so the engine is
+	// deterministic regardless of scheduling. Bucket backing arrays come
+	// from the typed pools and are presized from the previous run of the
+	// same job.
 	type taskOut struct {
 		buckets [][]pair[K, V]
 		records int64
@@ -111,23 +118,28 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	}
 	var tasks []func() taskOut
 	for _, in := range job.Inputs {
-		splits, err := c.fs.Splits(in.File, c.Workers())
+		recs, bounds, err := c.fs.SplitRanges(in.File, c.Workers())
 		if err != nil {
 			return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
 		}
-		for _, split := range splits {
+		st.InputRecords += int64(len(recs))
+		sz, err := c.fs.Size(in.File)
+		if err != nil {
+			return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
+		}
+		st.InputBytes += sz
+		for s := 0; s < len(bounds)-1; s++ {
+			split := recs[bounds[s]:bounds[s+1]]
 			if len(split) == 0 {
 				continue
 			}
-			split := split
 			mapFn := in.Map
 			st.MapTasks++
-			st.InputRecords += int64(len(split))
-			for _, r := range split {
-				st.InputBytes += r.Size
-			}
 			tasks = append(tasks, func() taskOut {
 				out := taskOut{buckets: make([][]pair[K, V], reducers)}
+				for r := range out.buckets {
+					out.buckets[r] = getSlice[pair[K, V]](bucketCap)
+				}
 				emit := func(k K, v V) {
 					r := int(job.Partition(k) % uint64(reducers))
 					out.buckets[r] = append(out.buckets[r], pair[K, V]{k, v})
@@ -136,13 +148,15 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 					mapFn(rec.Data, emit)
 				}
 				if job.Combine != nil {
+					scratch := getCombineScratch[K, V]()
 					for r, bucket := range out.buckets {
-						out.buckets[r] = combineBucket(bucket, job.Combine)
+						out.buckets[r] = combineBucket(bucket, job.Combine, scratch)
 					}
+					putCombineScratch(scratch)
 				}
 				for _, bucket := range out.buckets {
+					out.records += int64(len(bucket))
 					for _, p := range bucket {
-						out.records++
 						out.bytes += kvSize(p.k, p.v)
 					}
 				}
@@ -151,82 +165,135 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		}
 	}
 
+	// Run the map tasks. The shuffle-capacity limit is enforced
+	// deterministically: a task's records count only once every
+	// earlier task has completed (a completion frontier in task
+	// order), and the limit trips at the first task index where the
+	// in-order prefix sum exceeds it. Tasks beyond the tripping index
+	// are skipped when possible and never counted, so the recorded
+	// ShuffleRecords/ShuffleBytes of an exhausted job are identical
+	// run-to-run regardless of scheduling.
 	limit := c.cfg.MaxShuffleRecords
-	var shuffled atomic.Int64
-	shuffled.Store(job.ExtraShuffleRecords)
 	outs := make([]taskOut, len(tasks))
 	pool := runtime.GOMAXPROCS(0)
 	if w := c.Workers(); w < pool {
 		pool = w
 	}
-	var exhausted atomic.Bool
+	var tripAt atomic.Int64
+	tripAt.Store(int64(len(tasks))) // sentinel: limit never tripped
+	if limit > 0 && job.ExtraShuffleRecords > limit {
+		// The phantom charge alone exhausts the cluster; no map task's
+		// output is counted.
+		tripAt.Store(-1)
+	}
+	var (
+		frontierMu sync.Mutex
+		done       []bool
+		frontier   int
+		prefix     = job.ExtraShuffleRecords
+	)
+	if limit > 0 {
+		done = make([]bool, len(tasks))
+	}
 	runPool(pool, len(tasks), func(i int) {
-		if exhausted.Load() {
+		if int64(i) > tripAt.Load() {
 			return
 		}
 		outs[i] = tasks[i]()
-		if limit > 0 && shuffled.Add(outs[i].records) > limit {
-			exhausted.Store(true)
+		if limit <= 0 {
+			return
 		}
+		frontierMu.Lock()
+		done[i] = true
+		for frontier < len(tasks) && done[frontier] {
+			prefix += outs[frontier].records
+			if prefix > limit && int64(frontier) < tripAt.Load() {
+				tripAt.Store(int64(frontier))
+			}
+			frontier++
+		}
+		frontierMu.Unlock()
 	})
 	st.ShuffleRecords += job.ExtraShuffleRecords
 	st.ShuffleBytes += job.ExtraShuffleBytes
-	for _, o := range outs {
+	counted := len(tasks)
+	exhausted := false
+	if t := tripAt.Load(); t < int64(len(tasks)) {
+		exhausted = true
+		counted = int(t) + 1
+	}
+	for _, o := range outs[:counted] {
 		st.ShuffleRecords += o.records
 		st.ShuffleBytes += o.bytes
 	}
-	if limit > 0 && st.ShuffleRecords > limit {
+	if exhausted {
+		for _, o := range outs {
+			for _, bucket := range o.buckets {
+				putSlice(bucket)
+			}
+		}
 		st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st)
 		c.record(st)
 		return nil, st, &ErrResourceExhausted{Job: job.Name, ShuffleRecords: st.ShuffleRecords, Limit: limit}
 	}
 
-	// --- Shuffle phase ---------------------------------------------------
-	// Group values by key per reducer, preserving task order so reduce
-	// input order (and therefore floating-point summation order) is
-	// deterministic.
-	type group struct {
-		keys   []K
-		values map[K][]V
+	// --- Shuffle + reduce phases ----------------------------------------
+	// Every reduce task independently groups its own partition — walking
+	// the map tasks' buckets in task order, so reduce input order (and
+	// therefore floating-point summation order) is deterministic — and
+	// immediately reduces it. Reducer partitions are disjoint, so the
+	// tasks parallelize with no synchronization beyond the pool itself.
+	keyCap, outCap := 0, 0
+	if hasHint {
+		keyCap = int(hint.keysPerReducer) + 1
+		outCap = int(hint.outPerReducer) + 1
 	}
-	groups := make([]group, reducers)
-	for r := range groups {
-		groups[r].values = make(map[K][]V)
-	}
-	for _, o := range outs {
-		for r, bucket := range o.buckets {
-			g := &groups[r]
-			for _, p := range bucket {
-				if _, ok := g.values[p.k]; !ok {
-					g.keys = append(g.keys, p.k)
-				}
-				g.values[p.k] = append(g.values[p.k], p.v)
-			}
-		}
-	}
-
-	// --- Reduce phase ------------------------------------------------
 	results := make([][]O, reducers)
 	resultBytes := make([]int64, reducers)
+	keyCounts := make([]int64, reducers)
 	runPool(pool, reducers, func(r int) {
-		g := &groups[r]
-		var out []O
+		keys := getSlice[K](keyCap)
+		values := getMap[K, V](keyCap)
+		for i := range outs {
+			bucket := outs[i].buckets[r]
+			for _, p := range bucket {
+				vs, ok := values[p.k]
+				if !ok {
+					keys = append(keys, p.k)
+				}
+				values[p.k] = append(vs, p.v)
+			}
+			putSlice(bucket)
+			outs[i].buckets[r] = nil
+		}
+		out := getSlice[O](outCap)
 		var bytes int64
 		emit := func(o O) {
 			out = append(out, o)
 			bytes += outSize(o)
 		}
-		for _, k := range g.keys {
-			job.Reduce(k, g.values[k], emit)
+		for _, k := range keys {
+			job.Reduce(k, values[k], emit)
 		}
 		results[r] = out
 		resultBytes[r] = bytes
+		keyCounts[r] = int64(len(keys))
+		putMap(values)
+		putSlice(keys)
 	})
-	var all []O
+	var total int
+	for _, out := range results {
+		total += len(out)
+	}
+	all := make([]O, 0, total)
+	var distinctKeys int64
 	for r, out := range results {
 		all = append(all, out...)
 		st.OutputRecords += int64(len(out))
 		st.OutputBytes += resultBytes[r]
+		distinctKeys += keyCounts[r]
+		putSlice(out)
+		results[r] = nil
 	}
 
 	if job.Output != "" {
@@ -242,26 +309,91 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 
 	st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st)
 	c.record(st)
+	if st.MapTasks > 0 {
+		shuffled := st.ShuffleRecords - job.ExtraShuffleRecords
+		c.setHint(job.Name, shuffleHint{
+			pairsPerBucket: ceilDiv(shuffled, int64(st.MapTasks)*int64(reducers)),
+			keysPerReducer: ceilDiv(distinctKeys, int64(reducers)),
+			outPerReducer:  ceilDiv(st.OutputRecords, int64(reducers)),
+		})
+	}
 	return all, st, nil
 }
 
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// combineScratch is the reusable grouping state of combineBucket. One
+// instance serves all of a map task's buckets (and, via the typed
+// pools, later tasks of jobs with the same key/value types), so the
+// key map and value slices are allocated once instead of per bucket.
+type combineScratch[K comparable, V any] struct {
+	idx  map[K]int
+	keys []K
+	vals [][]V
+}
+
+func getCombineScratch[K comparable, V any]() *combineScratch[K, V] {
+	if v := poolFor[*combineScratch[K, V]]().Get(); v != nil {
+		return v.(*combineScratch[K, V])
+	}
+	return &combineScratch[K, V]{idx: make(map[K]int)}
+}
+
+func putCombineScratch[K comparable, V any](s *combineScratch[K, V]) {
+	s.reset()
+	// Value slices are truncated lazily as keys are registered, so
+	// stale values can linger past their length; clear the full
+	// retained storage so pooled scratch pins no values.
+	for i := range s.vals {
+		v := s.vals[i][:cap(s.vals[i])]
+		clear(v)
+		s.vals[i] = v[:0]
+	}
+	poolFor[*combineScratch[K, V]]().Put(s)
+}
+
+// reset readies the scratch for the next bucket. Value slices are not
+// touched here — combineBucket truncates each slot as it re-registers
+// it, keeping reset O(keys of the previous bucket).
+func (s *combineScratch[K, V]) reset() {
+	clear(s.idx)
+	clear(s.keys)
+	s.keys = s.keys[:0]
+}
+
 // combineBucket groups one task's bucket by key (preserving first-seen
-// key order), applies the combiner, and flattens back to pairs.
-func combineBucket[K comparable, V any](bucket []pair[K, V], combine func(K, []V) []V) []pair[K, V] {
+// key order), applies the combiner, and flattens back to pairs. The
+// combiner may expand a key's values (return more than one); the output
+// grows past the original bucket as needed.
+func combineBucket[K comparable, V any](bucket []pair[K, V], combine func(K, []V) []V, s *combineScratch[K, V]) []pair[K, V] {
 	if len(bucket) == 0 {
 		return bucket
 	}
-	var keys []K
-	grouped := make(map[K][]V)
+	s.reset()
 	for _, p := range bucket {
-		if _, ok := grouped[p.k]; !ok {
-			keys = append(keys, p.k)
+		i, ok := s.idx[p.k]
+		if !ok {
+			i = len(s.keys)
+			s.idx[p.k] = i
+			s.keys = append(s.keys, p.k)
+			if i < len(s.vals) {
+				s.vals[i] = s.vals[i][:0]
+			} else {
+				s.vals = append(s.vals, nil)
+			}
 		}
-		grouped[p.k] = append(grouped[p.k], p.v)
+		s.vals[i] = append(s.vals[i], p.v)
 	}
+	// The grouped values live in scratch storage, so the bucket itself
+	// can be rewritten in place.
 	out := bucket[:0]
-	for _, k := range keys {
-		for _, v := range combine(k, grouped[k]) {
+	for i, k := range s.keys {
+		for _, v := range combine(k, s.vals[i]) {
 			out = append(out, pair[K, V]{k, v})
 		}
 	}

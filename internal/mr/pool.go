@@ -1,0 +1,72 @@
+package mr
+
+import (
+	"reflect"
+	"sync"
+)
+
+// The engine recycles its per-job scratch memory — map-side pair
+// buckets, reducer group maps, and reduce output buffers — across Run
+// calls. ALS drivers run thousands of structurally identical jobs in a
+// loop, so without reuse every iteration reallocates (and the GC
+// retires) hundreds of megabytes of short-lived buffers. Run is generic,
+// so the pools are keyed by concrete element type in a package-level
+// registry: every instantiation of Run with the same key/value types
+// shares one pool.
+
+var typedPools sync.Map // reflect.Type -> *sync.Pool
+
+func poolFor[T any]() *sync.Pool {
+	t := reflect.TypeFor[T]()
+	if p, ok := typedPools.Load(t); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := typedPools.LoadOrStore(t, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// getSlice returns an empty slice with capacity ≥ want from the pool
+// for []T, or a freshly made one. want may be 0, in which case a pooled
+// buffer of any capacity (or nil) is returned and append grows it.
+func getSlice[T any](want int) []T {
+	if v := poolFor[[]T]().Get(); v != nil {
+		s := *v.(*[]T)
+		if cap(s) >= want {
+			return s[:0]
+		}
+	}
+	if want <= 0 {
+		return nil
+	}
+	return make([]T, 0, want)
+}
+
+// putSlice clears the used portion of s (so pooled memory pins no
+// values) and returns its backing array to the pool for []T.
+func putSlice[T any](s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	clear(s)
+	s = s[:0]
+	poolFor[[]T]().Put(&s)
+}
+
+// getMap returns an empty map[K][]V from the pool, presized to sizeHint
+// when freshly allocated. Pooled maps keep their bucket storage, which
+// is the expensive part of rebuilding a reducer's group per job.
+func getMap[K comparable, V any](sizeHint int) map[K][]V {
+	if v := poolFor[map[K][]V]().Get(); v != nil {
+		return v.(map[K][]V)
+	}
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return make(map[K][]V, sizeHint)
+}
+
+// putMap empties m and returns it to the pool.
+func putMap[K comparable, V any](m map[K][]V) {
+	clear(m)
+	poolFor[map[K][]V]().Put(m)
+}
