@@ -372,6 +372,9 @@ func (s *StagedN) contractN(n int, factors []*matrix.Matrix, pairwise bool) ([]N
 func (s *StagedN) cleanupN(files []string) {
 	for _, f := range files {
 		if s.cluster.FS().Exists(f) {
+			// Exists-guarded, so ErrNotExist (Delete's only error) is
+			// impossible; this defer-path has no caller to report to.
+			//haten2:allow errcheck-io best-effort temp cleanup, Delete can only return ErrNotExist and the file was just checked
 			_ = s.cluster.FS().Delete(f)
 		}
 	}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum guards the floating-point leg of the determinism guarantee.
+// Float addition is not associative, so a sum accumulated while ranging
+// over a map picks up the map's randomized iteration order and the
+// total differs in the last bits from run to run — which the engine's
+// byte-exact counter and fit comparisons then amplify into visible
+// divergence. The check flags float32/float64 accumulation
+// (+=, -=, x = x + …, x = x - …) lexically inside the body of a range
+// statement whose operand is a map, anywhere in non-test code; the fix
+// is the same as maporder's: iterate sorted keys or a first-seen-order
+// key slice.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc:  "no float accumulation in map-iteration order (summation-order nondeterminism)",
+	Run:  runFloatSum,
+}
+
+func runFloatSum(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := p.TypeOf(rs.X).(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok || !isFloatAccum(p, as) {
+					return true
+				}
+				p.Reportf(as.Pos(),
+					"floating-point accumulation while ranging over a map: the summation order (and so the result's last bits) changes run to run")
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isFloatAccum reports whether as accumulates into a float lvalue:
+// x += v, x -= v, or the spelled-out x = x ± v.
+func isFloatAccum(p *Pass, as *ast.AssignStmt) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	if !isFloat(p.TypeOf(as.Lhs[0])) {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return true
+	case token.ASSIGN:
+		bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return false
+		}
+		return sameExpr(as.Lhs[0], bin.X)
+	}
+	return false
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExpr conservatively matches the x = x + v pattern: it compares
+// plain identifiers and single-level selector/index chains of
+// identifiers by name.
+func sameExpr(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameExpr(av.X, bv.X)
+	case *ast.IndexExpr:
+		bv, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(av.X, bv.X) && sameExpr(av.Index, bv.Index)
+	}
+	return false
+}

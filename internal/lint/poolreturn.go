@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolReturn keeps the engine's typed buffer pools balanced. A pooled
+// buffer that is acquired but never returned silently degrades the
+// pools back to plain allocation — thousands of ALS jobs then rebuild
+// their bucket and group storage from scratch and the reuse PR 1 bought
+// evaporates without any test failing. The check applies to the mr
+// package only (the pools' home) and is flow-insensitive: a value bound
+// from a pool acquisition (getSlice, getMap, getCombineScratch, or a
+// raw sync.Pool Get) must, somewhere in the same outermost function,
+// be passed to the matching return call, be returned to the caller, or
+// escape into another location (whose owner then carries the
+// obligation).
+var PoolReturn = &Analyzer{
+	Name: "poolreturn",
+	Doc:  "every pool acquisition in internal/mr has a matching return",
+	Run:  runPoolReturn,
+}
+
+// poolKinds maps acquisition helpers to the call that must give the
+// buffer back.
+var poolKinds = map[string]string{
+	"getSlice":          "putSlice",
+	"getMap":            "putMap",
+	"getCombineScratch": "putCombineScratch",
+}
+
+func runPoolReturn(p *Pass) {
+	if p.Pkg.Pkg.Name() != "mr" {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolBalance(p, fd)
+		}
+	}
+}
+
+// acquisition is one pool Get bound to a local identifier.
+type acquisition struct {
+	obj  types.Object
+	put  string // required matching call: putSlice, putMap, …, or "Put"
+	call *ast.CallExpr
+}
+
+func checkPoolBalance(p *Pass, fd *ast.FuncDecl) {
+	var acqs []acquisition
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		put := acquisitionPut(p, call)
+		if put == "" {
+			return true
+		}
+		obj := p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			acqs = append(acqs, acquisition{obj: obj, put: put, call: call})
+		}
+		return true
+	})
+	for _, acq := range acqs {
+		if !poolObligationMet(p, fd, acq) {
+			p.Reportf(acq.call.Pos(),
+				"pooled buffer %s is acquired but never returned with %s (and does not escape this function): the pool degrades to plain allocation",
+				acq.obj.Name(), acq.put)
+		}
+	}
+}
+
+// acquisitionPut classifies a call as a pool acquisition, returning the
+// name of the required release call ("" when it is not one).
+func acquisitionPut(p *Pass, call *ast.CallExpr) string {
+	if fn := p.FuncFor(call); fn != nil {
+		if put, ok := poolKinds[fn.Name()]; ok && fn.Pkg() == p.Pkg.Pkg {
+			return put
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+		if isSyncPool(p.TypeOf(sel.X)) {
+			return "Put"
+		}
+	}
+	return ""
+}
+
+// poolObligationMet reports whether the acquired value is released,
+// returned, or stored beyond the local variable within fd.
+func poolObligationMet(p *Pass, fd *ast.FuncDecl, acq acquisition) bool {
+	met := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if met {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isReleaseCall(p, n, acq.put) && exprMentions(p, n.Args, acq.obj) {
+				met = true
+			}
+		case *ast.ReturnStmt:
+			if exprMentions(p, n.Results, acq.obj) {
+				met = true
+			}
+		case *ast.AssignStmt:
+			// The value escaping into another variable, field, slice
+			// element, or struct literal transfers the obligation.
+			// Compound assignments (+=, …) are reads, not escapes.
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if ast.Unparen(rhs) == acq.call {
+					continue // the acquisition itself
+				}
+				if !escapesVia(p, rhs, acq.obj) {
+					continue
+				}
+				lhs := n.Lhs[min(i, len(n.Lhs)-1)]
+				if id, ok := lhs.(*ast.Ident); ok {
+					if p.Pkg.Info.Uses[id] == acq.obj || p.Pkg.Info.Defs[id] == acq.obj {
+						continue // x = append(x, …) is not an escape
+					}
+				}
+				met = true
+			}
+		}
+		return !met
+	})
+	return met
+}
+
+// escapesVia reports whether assigning rhs can transfer ownership of
+// obj's value: the identifier itself, an alias of it (address, slice,
+// dereferenced type assertion), a composite literal holding it, or a
+// call that receives it. Plain reads (indexing, arithmetic, len/cap) do
+// not transfer the release obligation.
+func escapesVia(p *Pass, rhs ast.Expr, obj types.Object) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		return p.Pkg.Info.Uses[e] == obj
+	case *ast.UnaryExpr:
+		return escapesVia(p, e.X, obj)
+	case *ast.StarExpr:
+		return escapesVia(p, e.X, obj)
+	case *ast.TypeAssertExpr:
+		return escapesVia(p, e.X, obj)
+	case *ast.SliceExpr:
+		return escapesVia(p, e.X, obj)
+	case *ast.CompositeLit:
+		return exprMentions(p, e.Elts, obj)
+	case *ast.CallExpr:
+		if fn, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (fn.Name == "len" || fn.Name == "cap") {
+			if _, builtin := p.Pkg.Info.Uses[fn].(*types.Builtin); builtin {
+				return false
+			}
+		}
+		return exprMentions(p, e.Args, obj)
+	}
+	return false
+}
+
+// isReleaseCall reports whether call is the named release: one of the
+// put helpers, or a Put method on a sync.Pool when put is "Put".
+func isReleaseCall(p *Pass, call *ast.CallExpr, put string) bool {
+	if put == "Put" {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "Put" && isSyncPool(p.TypeOf(sel.X))
+	}
+	fn := p.FuncFor(call)
+	return fn != nil && fn.Name() == put && fn.Pkg() == p.Pkg.Pkg
+}
+
+// exprMentions reports whether any expression references obj.
+func exprMentions(p *Pass, exprs []ast.Expr, obj types.Object) bool {
+	found := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// isSyncPool matches sync.Pool and *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "sync")
+}

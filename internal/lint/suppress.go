@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression comments take the form
+//
+//	//haten2:allow <check> <reason>
+//
+// and silence findings of the named check on the comment's own line and
+// on the line directly below it — covering both trailing comments and a
+// comment placed above the offending statement. The reason is required:
+// the suite exists because "the reviewer knew why" does not survive
+// contributor turnover, so neither does a bare allow.
+
+const allowPrefix = "haten2:allow"
+
+// allow is one parsed, well-formed suppression comment.
+type allow struct {
+	file  string
+	line  int
+	check string
+}
+
+// collectAllows parses every suppression comment of a package. Malformed
+// comments (missing check name, unknown check name, or missing reason)
+// are returned as diagnostics of the pseudo-check "allow", which cannot
+// itself be suppressed.
+func collectAllows(pkg *Package, valid map[string]bool) ([]allow, []Diagnostic) {
+	var allows []allow
+	var bad []Diagnostic
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := allowText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   "allow",
+						Message: "malformed suppression: want //haten2:allow <check> <reason>",
+					})
+				case !valid[fields[0]]:
+					bad = append(bad, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   "allow",
+						Message: "unknown check \"" + fields[0] + "\" in suppression comment",
+					})
+				case len(fields) == 1:
+					bad = append(bad, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   "allow",
+						Message: "suppression of " + fields[0] + " needs a reason: //haten2:allow " + fields[0] + " <reason>",
+					})
+				default:
+					allows = append(allows, allow{file: pos.Filename, line: pos.Line, check: fields[0]})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// allowText extracts the payload after //haten2:allow, or reports that
+// the comment is not a suppression.
+func allowText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false // block comments are not suppression carriers
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, allowPrefix)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. haten2:allowance
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// filterAllowed drops diagnostics covered by a suppression of their
+// check in the same file on the same line or the line above.
+func filterAllowed(diags []Diagnostic, allows []allow) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	covered := make(map[key]bool, len(allows)*2)
+	for _, a := range allows {
+		covered[key{a.file, a.line, a.check}] = true
+		covered[key{a.file, a.line + 1, a.check}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Check != "allow" && covered[key{d.File, d.Line, d.Check}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,38 @@
+// Fixture for the errcheck-io analyzer: discarded errors from the dfs
+// package and from persist.go APIs.
+package errcheckio
+
+import (
+	"io"
+
+	"fixture.example/errcheckio/internal/dfs"
+)
+
+// flaggedDiscards drop guarded errors on the floor in every way.
+func flaggedDiscards(fs *dfs.FS, w io.Writer) {
+	fs.Delete("part-0")        // want "error from dfs.Delete is discarded"
+	_ = fs.Delete("part-1")    // want "error from dfs.Delete is assigned to _"
+	_, _ = fs.Create("part-2") // want "error from dfs.Create is assigned to _"
+	defer fs.Delete("part-3")  // want "error from dfs.Delete is discarded"
+	Save(w)                    // want "error from errcheckio.Save is discarded"
+	_ = Save(w)                // want "error from errcheckio.Save is assigned to _"
+}
+
+// cleanChecked propagates or inspects every guarded error.
+func cleanChecked(fs *dfs.FS, w io.Writer) error {
+	f, err := fs.Create("part-4")
+	if err != nil {
+		return err
+	}
+	_ = f
+	if err := Save(w); err != nil {
+		return err
+	}
+	return fs.Delete("part-4")
+}
+
+// suppressed records why one best-effort cleanup may ignore its error.
+func suppressed(fs *dfs.FS) {
+	//haten2:allow errcheck-io fixture best-effort cleanup with nothing to report to
+	_ = fs.Delete("scratch")
+}

@@ -1,0 +1,27 @@
+// Package dfs mirrors the shape of the real simulated file system: its
+// exported API is the guarded I/O surface of the errcheck-io analyzer.
+package dfs
+
+import "errors"
+
+// FS is a stand-in file system.
+type FS struct{}
+
+// Writer is a stand-in file writer.
+type Writer struct{}
+
+// Create opens a new file.
+func (*FS) Create(name string) (*Writer, error) {
+	if name == "" {
+		return nil, errors.New("dfs: empty name")
+	}
+	return &Writer{}, nil
+}
+
+// Delete removes a file.
+func (*FS) Delete(name string) error {
+	if name == "" {
+		return errors.New("dfs: empty name")
+	}
+	return nil
+}

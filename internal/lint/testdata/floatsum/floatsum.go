@@ -1,0 +1,76 @@
+// Fixture for the floatsum analyzer: floating-point accumulation in
+// map-iteration order.
+package floatsum
+
+import "sort"
+
+// flaggedCompound accumulates with += while ranging a map.
+func flaggedCompound(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation while ranging over a map"
+	}
+	return sum
+}
+
+// flaggedSpelledOut uses the x = x + v form, and x = x - v.
+func flaggedSpelledOut(m map[int]float64) (float64, float64) {
+	var add, sub float64
+	for _, v := range m {
+		add = add + v // want "floating-point accumulation while ranging over a map"
+		sub = sub - v // want "floating-point accumulation while ranging over a map"
+	}
+	return add, sub
+}
+
+// flaggedMapTarget accumulates into a float-valued map cell.
+func flaggedMapTarget(m map[int]float64, out map[int]float64) {
+	for k, v := range m {
+		out[k%2] += v // want "floating-point accumulation while ranging over a map"
+	}
+}
+
+// cleanIntCount counts in map order: integer addition is associative,
+// so the total is order-independent.
+func cleanIntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// cleanSliceSum sums floats over a slice: iteration order is fixed.
+func cleanSliceSum(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// cleanSortedSum drains the map through sorted keys before summing.
+func cleanSortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// suppressed: max is order-independent, which the annotation records.
+func suppressed(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			//haten2:allow floatsum assignment below is a max reduction, not a sum; order irrelevant
+			best = best + (v - best)
+		}
+	}
+	return best
+}

@@ -1,0 +1,3 @@
+module fixture.example/floatsum
+
+go 1.22

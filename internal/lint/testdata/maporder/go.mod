@@ -1,0 +1,3 @@
+module fixture.example/maporder
+
+go 1.22

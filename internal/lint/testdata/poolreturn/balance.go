@@ -1,0 +1,77 @@
+// Fixture for the poolreturn analyzer: acquisitions that leak, are
+// released, escape, or are suppressed.
+package mr
+
+func flaggedLeak(xs []int) int {
+	buf := getSlice(len(xs)) // want "pooled buffer buf is acquired but never returned with putSlice"
+	buf = append(buf, xs...)
+	n := 0
+	for _, v := range buf {
+		n += v
+	}
+	return n
+}
+
+// flaggedLenRead reads the buffer's length into another variable;
+// len is a read, not an escape, so the leak is still flagged.
+func flaggedLenRead(capHint int) int {
+	buf := getSlice(capHint) // want "pooled buffer buf is acquired but never returned with putSlice"
+	n := len(buf)
+	return n
+}
+
+func flaggedRawGet() {
+	v := scratchPool.Get() // want "pooled buffer v is acquired but never returned with Put"
+	if v == nil {
+		println("pool empty")
+	}
+}
+
+func cleanPut(xs []int) int {
+	buf := getSlice(len(xs))
+	buf = append(buf, xs...)
+	total := 0
+	for _, v := range buf {
+		total += v
+	}
+	putSlice(buf)
+	return total
+}
+
+func cleanReturn(capHint int) []int {
+	buf := getSlice(capHint)
+	return buf
+}
+
+type batch struct{ rows []int }
+
+// cleanEscape stores the buffer into a longer-lived location; the
+// obligation transfers to batch's owner.
+func cleanEscape(b *batch, capHint int) {
+	buf := getSlice(capHint)
+	b.rows = buf
+}
+
+func cleanMapRoundTrip(keys []int) int {
+	seen := getMap()
+	for _, k := range keys {
+		seen[k]++
+	}
+	n := len(seen)
+	putMap(seen)
+	return n
+}
+
+func cleanRawRoundTrip() {
+	v := scratchPool.Get()
+	scratchPool.Put(v)
+}
+
+// suppressed records why one deliberate leak is acceptable.
+func suppressed(capHint int) {
+	//haten2:allow poolreturn fixture demonstrating suppression of a deliberate leak
+	buf := getSlice(capHint)
+	if len(buf) != 0 {
+		println("recycled")
+	}
+}

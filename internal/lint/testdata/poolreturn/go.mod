@@ -1,0 +1,3 @@
+module fixture.example/poolreturn
+
+go 1.22

@@ -1,0 +1,22 @@
+// Fixture pools mirroring internal/mr's typed buffer pools. The
+// poolreturn analyzer is gated on the package name "mr".
+package mr
+
+import "sync"
+
+var slicePool = sync.Pool{New: func() any { return []int(nil) }}
+
+var scratchPool = sync.Pool{New: func() any { return new([64]byte) }}
+
+func getSlice(capHint int) []int {
+	if v := slicePool.Get(); v != nil {
+		return v.([]int)[:0]
+	}
+	return make([]int, 0, capHint)
+}
+
+func putSlice(s []int) { slicePool.Put(s[:0]) }
+
+func getMap() map[int]int { return make(map[int]int, 64) }
+
+func putMap(m map[int]int) {}

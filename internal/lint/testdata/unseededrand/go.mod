@@ -1,0 +1,3 @@
+module fixture.example/unseededrand
+
+go 1.22

@@ -1,0 +1,30 @@
+// Fixture for the unseededrand analyzer: global math/rand functions.
+package unseededrand
+
+import "math/rand"
+
+// flaggedGlobals draw from the process-global, auto-seeded source.
+func flaggedGlobals(n int) (int, float64) {
+	i := rand.Intn(n)                  // want "rand.Intn draws from the process-global RNG"
+	f := rand.Float64()                // want "rand.Float64 draws from the process-global RNG"
+	rand.Shuffle(n, func(a, b int) {}) // want "rand.Shuffle draws from the process-global RNG"
+	return i, f
+}
+
+// cleanSeeded constructs an explicit generator; its methods are fine.
+func cleanSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// cleanZipf builds a seeded Zipf generator through the constructor.
+func cleanZipf(seed int64) *rand.Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(rng, 1.1, 1, 100)
+}
+
+// suppressed keeps one global draw with a recorded reason.
+func suppressed() int {
+	//haten2:allow unseededrand fixture demonstrating the suppression syntax
+	return rand.Int()
+}

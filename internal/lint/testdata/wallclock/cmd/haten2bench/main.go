@@ -1,0 +1,11 @@
+// The benchmark CLI is exempt like internal/bench.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now()) // not flagged: cmd/haten2bench is an allowed package
+}

@@ -1,0 +1,3 @@
+module fixture.example/wallclock
+
+go 1.22

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UnseededRand bans the global math/rand (and math/rand/v2) generators.
+// The package-level functions draw from a process-wide, automatically
+// seeded source, so initial factors, generated tensors, and sampled
+// noise would differ on every run — unreproducible experiments and
+// flaky golden tests. Every RNG must be constructed from an explicit
+// seed (rand.New(rand.NewSource(seed))), which also keeps concurrent
+// drivers from contending on the global source's lock.
+var UnseededRand = &Analyzer{
+	Name: "unseededrand",
+	Doc:  "no global math/rand functions; construct RNGs from an explicit seed",
+	Run:  runUnseededRand,
+}
+
+// randConstructors are the package-level functions that build an
+// explicitly seeded generator rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runUnseededRand(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.FuncFor(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an explicit *Rand
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"%s.%s draws from the process-global RNG: construct one with rand.New(rand.NewSource(seed)) so runs are reproducible", path, fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallClock keeps real time out of the simulation. The engine's
+// "running time" is the calibrated cost model's SimSeconds — a pure
+// function of job counters — so a time.Now (or Since/Until sugar)
+// anywhere in the engine, plans, or drivers smuggles host speed into
+// results that must be machine-independent. Wall-clock reads are
+// legitimate exactly where wall time is the measured quantity: the
+// benchmark harness (internal/bench, cmd/haten2bench) and tests (which
+// the loader already excludes).
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now outside internal/bench, cmd/haten2bench, and tests",
+	Run:  runWallClock,
+}
+
+// wallClockAllowed are import-path suffixes where wall-clock reads are
+// the point.
+var wallClockAllowed = []string{"internal/bench", "cmd/haten2bench"}
+
+func runWallClock(p *Pass) {
+	for _, suffix := range wallClockAllowed {
+		if strings.HasSuffix(p.Pkg.PkgPath, suffix) {
+			return
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.FuncFor(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				p.Reportf(call.Pos(),
+					"time.%s reads the wall clock: simulated results must depend only on job counters (allowed in internal/bench, cmd/haten2bench, and tests)", fn.Name())
+			}
+			return true
+		})
+	}
+}
