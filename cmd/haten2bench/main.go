@@ -9,14 +9,20 @@
 //	haten2bench -full            # larger sweeps
 //	haten2bench -json            # machine-readable output
 //	haten2bench -exp mr -mrout BENCH_mr.json  # engine wall-clock sweep
+//	haten2bench -exp faults -faultsout BENCH_faults.json  # fault overhead
 //
 // Experiment ids: table2 table3 table4 table5 table6 table7 table8
-// fig1a fig1b fig1c fig7a fig7b fig7c fig8 nell ablation combiner mr.
+// fig1a fig1b fig1c fig7a fig7b fig7c fig8 nell ablation combiner mr
+// faults.
 //
 // The mr experiment measures real host wall-clock (not simulated time)
 // of the MapReduce engine across a GOMAXPROCS sweep; -mrout additionally
 // writes its report to the named JSON file (BENCH_mr.json by
-// convention) so the speedup is recorded per machine.
+// convention) so the speedup is recorded per machine. The faults
+// experiment measures the simulated-time overhead of task retries,
+// speculative execution, and checkpoint-resume against a fault-free
+// baseline, verifying outputs stay bit-identical; -faultsout writes its
+// report to the named JSON file (BENCH_faults.json by convention).
 package main
 
 import (
@@ -31,20 +37,30 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		full    = flag.Bool("full", false, "run the larger sweeps")
-		seed    = flag.Int64("seed", 42, "data generation seed")
-		jsonOut = flag.Bool("json", false, "emit reports as JSON instead of tables")
-		mrOut   = flag.String("mrout", "", "also write the mr experiment's report to this JSON file")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full      = flag.Bool("full", false, "run the larger sweeps")
+		seed      = flag.Int64("seed", 42, "data generation seed")
+		jsonOut   = flag.Bool("json", false, "emit reports as JSON instead of tables")
+		mrOut     = flag.String("mrout", "", "also write the mr experiment's report to this JSON file")
+		faultsOut = flag.String("faultsout", "", "also write the faults experiment's report to this JSON file")
 	)
 	flag.Parse()
-	if err := run(*exp, *full, *seed, *jsonOut, *mrOut); err != nil {
+	outs := map[string]string{}
+	if *mrOut != "" {
+		outs["mr"] = *mrOut
+	}
+	if *faultsOut != "" {
+		outs["faults"] = *faultsOut
+	}
+	if err := run(*exp, *full, *seed, *jsonOut, outs); err != nil {
 		fmt.Fprintln(os.Stderr, "haten2bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, full bool, seed int64, jsonOut bool, mrOut string) error {
+// run executes the selected experiments; outs maps an experiment id to
+// a file its JSON report is additionally written to.
+func run(exp string, full bool, seed int64, jsonOut bool, outs map[string]string) error {
 	cfg := bench.Config{Full: full, Seed: seed}
 	type runner func(bench.Config) (*bench.Report, error)
 	registry := map[string]runner{
@@ -66,12 +82,13 @@ func run(exp string, full bool, seed int64, jsonOut bool, mrOut string) error {
 		"combiner": bench.CombinerAblation,
 		"nell":     bench.TableNELL,
 		"mr":       bench.MRBench,
+		"faults":   bench.Faults,
 	}
 	order := []string{
 		"table2", "table3", "table4", "table5",
 		"fig1a", "fig1b", "fig1c", "fig7a", "fig7b", "fig7c", "fig8",
 		"table6", "table7", "table8", "nell", "ablation", "combiner",
-		"mr",
+		"mr", "faults",
 	}
 	var ids []string
 	if exp == "all" {
@@ -101,13 +118,13 @@ func run(exp string, full bool, seed int64, jsonOut bool, mrOut string) error {
 			rep.Print(os.Stdout)
 			fmt.Printf("(%s regenerated in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
 		}
-		if id == "mr" && mrOut != "" {
+		if out := outs[id]; out != "" {
 			b, err := rep.JSON()
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(mrOut, append(b, '\n'), 0o644); err != nil {
-				return fmt.Errorf("writing %s: %w", mrOut, err)
+			if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", out, err)
 			}
 		}
 	}

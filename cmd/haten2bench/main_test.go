@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", false, 1, false, ""); err == nil {
+	if err := run("nope", false, 1, false, nil); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -11,10 +11,10 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunSingleExperiment(t *testing.T) {
 	// table2 is static and instant; this exercises the registry and
 	// printing path end to end.
-	if err := run("table2", false, 1, false, ""); err != nil {
+	if err := run("table2", false, 1, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table2, table5", false, 1, true, ""); err != nil {
+	if err := run("table2, table5", false, 1, true, nil); err != nil {
 		t.Fatal(err)
 	}
 }

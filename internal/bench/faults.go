@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/haten2/haten2/internal/core"
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// Faults measures the simulated-time overhead of the engine's
+// fault-recovery machinery — task retries, speculative execution, and
+// checkpoint-based restart — against a fault-free baseline, and verifies
+// on every row the subsystem's standing invariant: faults change
+// simulated time and the recovery counters, never outputs. The final
+// scenario kills the cluster mid-run and resumes from checkpoints on a
+// fresh cluster sharing the DFS, charging both clusters' time.
+//
+// This is the BENCH_faults.json experiment (`haten2bench -exp faults
+// -faultsout BENCH_faults.json`).
+func Faults(cfg Config) (*Report, error) {
+	dim, nnz := int64(100), 50_000
+	iters := 3
+	if cfg.Full {
+		dim, nnz = 200, 400_000
+		iters = 5
+	}
+	const rank = 3
+	x := gen.Random(cfg.Seed, [3]int64{dim, dim, dim}, nnz)
+	opt := core.Options{Variant: core.DRI, MaxIters: iters, Tol: 1e-12, Seed: cfg.Seed}
+
+	// The bench's map tasks run well under a second of simulated time, so
+	// with the default 30s SpeculativeDelay no straggler would ever lag
+	// long enough to earn a backup attempt. Lower the delay so the
+	// speculation path is exercised at this scale.
+	cost := mr.DefaultCostModel()
+	cost.SpeculativeDelay = 1e-3
+	clusterCfg := mr.Config{Machines: 8, SlotsPerMachine: 4, Cost: cost}
+
+	newCluster := func(plan *mr.FaultPlan) *mr.Cluster {
+		c := mr.NewCluster(clusterCfg)
+		c.InstallFaultPlan(plan)
+		return c
+	}
+
+	scenarios := []struct {
+		label string
+		plan  *mr.FaultPlan
+	}{
+		{"fault-free", nil},
+		{"fail 5%", &mr.FaultPlan{Seed: cfg.Seed, FailureRate: 0.05, MaxAttempts: 64}},
+		{"fail 15%", &mr.FaultPlan{Seed: cfg.Seed, FailureRate: 0.15, MaxAttempts: 64}},
+		{"fail 30%", &mr.FaultPlan{Seed: cfg.Seed, FailureRate: 0.30, MaxAttempts: 64}},
+		{"straggle 20%", &mr.FaultPlan{Seed: cfg.Seed, StragglerRate: 0.20}},
+		{"straggle 20% no-spec", &mr.FaultPlan{Seed: cfg.Seed, StragglerRate: 0.20, DisableSpeculation: true}},
+		{"fail 15% + straggle 20%", &mr.FaultPlan{Seed: cfg.Seed, FailureRate: 0.15, StragglerRate: 0.20, MaxAttempts: 64}},
+	}
+
+	rep := &Report{
+		ID: "faults",
+		Title: fmt.Sprintf("fault-recovery overhead, PARAFAC-DRI %d iterations (%s nnz, rank %d)",
+			iters, gen.Human(int64(nnz)), rank),
+		Headers: []string{
+			"scenario", "sim-time", "overhead", "retries", "spec(wins)", "wasted-recs", "penalty", "outputs",
+		},
+	}
+
+	var baseModel *tensor.Kruskal
+	var baseSim float64
+	row := func(label string, tot mr.Totals, model *tensor.Kruskal) {
+		outputs := "identical"
+		if !kruskalBitsEqual(baseModel, model) {
+			outputs = "DIVERGED"
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("DETERMINISM VIOLATION: scenario %q changed the decomposition output", label))
+		}
+		rep.Rows = append(rep.Rows, []string{
+			label,
+			seconds(tot.SimSeconds),
+			fmt.Sprintf("%.2fx", tot.SimSeconds/baseSim),
+			count(tot.TaskRetries),
+			fmt.Sprintf("%d(%d)", tot.SpeculativeTasks, tot.SpeculativeWins),
+			count(tot.WastedRecords),
+			seconds(tot.PenaltySeconds),
+			outputs,
+		})
+	}
+
+	for _, sc := range scenarios {
+		c := newCluster(sc.plan)
+		res, err := core.ParafacALS(c, x, rank, opt)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.label, err)
+		}
+		if baseModel == nil {
+			baseModel, baseSim = res.Model, c.Totals().SimSeconds
+		}
+		row(sc.label, c.Totals(), res.Model)
+	}
+
+	// Kill + checkpoint resume: the cluster dies mid-run under a faulty
+	// plan; a fresh cluster on the surviving DFS resumes from the last
+	// checkpoint. Both clusters' simulated time is charged — the price of
+	// the lost partial iteration plus recovery.
+	ckOpt := opt
+	ckOpt.Checkpoint = "bench/faults/parafac"
+	c1 := newCluster(&mr.FaultPlan{Seed: cfg.Seed, FailureRate: 0.15, MaxAttempts: 64, KillAfterJobs: 10})
+	_, err := core.ParafacALS(c1, x, rank, ckOpt)
+	var killed *mr.ErrClusterKilled
+	if !errors.As(err, &killed) {
+		return nil, fmt.Errorf("kill scenario: want ErrClusterKilled, got %w", err)
+	}
+	c2 := mr.NewClusterWithFS(clusterCfg, c1.FS())
+	c2.InstallFaultPlan(&mr.FaultPlan{Seed: cfg.Seed + 1, FailureRate: 0.15, MaxAttempts: 64})
+	res, err := core.ParafacALS(c2, x, rank, ckOpt)
+	if err != nil {
+		return nil, fmt.Errorf("resume after kill: %w", err)
+	}
+	var tot mr.Totals
+	t1, t2 := c1.Totals(), c2.Totals()
+	tot.SimSeconds = t1.SimSeconds + t2.SimSeconds
+	tot.TaskRetries = t1.TaskRetries + t2.TaskRetries
+	tot.SpeculativeTasks = t1.SpeculativeTasks + t2.SpeculativeTasks
+	tot.SpeculativeWins = t1.SpeculativeWins + t2.SpeculativeWins
+	tot.WastedRecords = t1.WastedRecords + t2.WastedRecords
+	tot.PenaltySeconds = t1.PenaltySeconds + t2.PenaltySeconds
+	row("fail 15% + kill/resume", tot, res.Model)
+
+	rep.Notes = append(rep.Notes,
+		"every scenario must report outputs=identical: fault decisions are pure hashes applied in a post-pass, so they can change time and counters but never results",
+		fmt.Sprintf("SpeculativeDelay lowered to %.0fms for this bench so sub-second tasks can trigger backups", cost.SpeculativeDelay*1000),
+		"kill/resume charges both clusters: the killed run's completed iterations plus the resumed run from the last checkpoint",
+	)
+	return rep, nil
+}
+
+// kruskalBitsEqual compares two PARAFAC models bit-for-bit.
+func kruskalBitsEqual(a, b *tensor.Kruskal) bool {
+	if a == nil || b == nil || len(a.Lambda) != len(b.Lambda) || len(a.Factors) != len(b.Factors) {
+		return a == b
+	}
+	for r := range a.Lambda {
+		if math.Float64bits(a.Lambda[r]) != math.Float64bits(b.Lambda[r]) {
+			return false
+		}
+	}
+	for m := range a.Factors {
+		fa, fb := a.Factors[m], b.Factors[m]
+		if fa.Rows != fb.Rows || fa.Cols != fb.Cols {
+			return false
+		}
+		for i := range fa.Data {
+			if math.Float64bits(fa.Data[i]) != math.Float64bits(fb.Data[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

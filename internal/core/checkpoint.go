@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// Iteration checkpointing for the ALS drivers.
+//
+// When Options.Checkpoint names a DFS base path, the driver persists the
+// complete iteration state (factor matrices plus the driver loop's
+// convergence variables) after every outer iteration, and a fresh run
+// with the same options resumes from the newest checkpoint it finds —
+// the Hadoop pattern of an iterative driver surviving a JobTracker
+// crash because its per-iteration outputs live on HDFS.
+//
+// Commit protocol: iteration t's state is written to "<base>.ckpt<t>"
+// through the DFS's atomic Create→Close (a checkpoint is invisible
+// until fully written, so a crash mid-write exposes nothing), and older
+// checkpoints are pruned only after the new one is published. At any
+// instant the DFS therefore holds at least one complete checkpoint once
+// the first iteration finishes; recovery loads the one with the highest
+// iteration number. Resume is bit-identical: the restored state is a
+// deep copy of exactly what the original loop held at the iteration
+// boundary, and all per-iteration randomness is derived from
+// (Options.Seed, iteration), never from a stream whose position depends
+// on how many iterations this process ran.
+
+// parafacCkpt is the loop state of parafacALSStaged at the end of an
+// iteration. Stored as a single DFS record (the simulator keeps record
+// payloads in memory; the record's Size carries the real byte cost).
+type parafacCkpt struct {
+	factors    []*matrix.Matrix
+	lambda     []float64
+	prevLambda []float64
+	prevFit    float64
+	fits       []float64
+	converged  bool
+}
+
+// tuckerCkpt is the corresponding state of tuckerALSStaged.
+type tuckerCkpt struct {
+	factors   []*matrix.Matrix
+	core      *tensor.Dense
+	coreNorms []float64
+	fits      []float64
+	prevNorm  float64
+	converged bool
+}
+
+// ckptName returns the DFS name of iteration it's checkpoint. The fixed
+// width keeps List's lexical order equal to iteration order.
+func ckptName(base string, it int) string {
+	return fmt.Sprintf("%s.ckpt%06d", base, it)
+}
+
+// ckptIter parses a checkpoint file name, reporting whether name is a
+// checkpoint of base.
+func ckptIter(base, name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, base+".ckpt")
+	if !ok {
+		return 0, false
+	}
+	it, err := strconv.Atoi(rest)
+	if err != nil || it < 0 {
+		return 0, false
+	}
+	return it, true
+}
+
+// cloneMatrices deep-copies a factor list.
+func cloneMatrices(ms []*matrix.Matrix) []*matrix.Matrix {
+	out := make([]*matrix.Matrix, len(ms))
+	for i, m := range ms {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// cloneDense deep-copies a dense core tensor.
+func cloneDense(d *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(d.Dims()...)
+	copy(out.Data, d.Data)
+	return out
+}
+
+// matricesBytes is the serialized size charged for a factor list.
+func matricesBytes(ms []*matrix.Matrix) int64 {
+	var b int64
+	for _, m := range ms {
+		b += int64(m.Rows) * int64(m.Cols) * 8
+	}
+	return b
+}
+
+// writeCheckpoint atomically publishes iteration it's state under base
+// and prunes older checkpoints. A leftover same-name checkpoint from an
+// earlier process is replaced (re-running an iteration reproduces the
+// identical state, so the replacement is a no-op in content).
+func writeCheckpoint(c *mr.Cluster, base string, it int, state any, bytes int64) error {
+	fs := c.FS()
+	name := ckptName(base, it)
+	if fs.Exists(name) {
+		if err := fs.Delete(name); err != nil {
+			return fmt.Errorf("core: checkpoint %q: %w", name, err)
+		}
+	}
+	w, err := fs.Create(name)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %q: %w", name, err)
+	}
+	w.Append(state, bytes)
+	w.Close()
+	// The new checkpoint is published; older ones are now redundant.
+	for _, n := range fs.List() {
+		if old, ok := ckptIter(base, n); ok && old < it {
+			if err := fs.Delete(n); err != nil {
+				return fmt.Errorf("core: checkpoint prune %q: %w", n, err)
+			}
+		}
+	}
+	return nil
+}
+
+// loadCheckpoint returns the newest checkpoint payload under base and
+// its iteration number, or (nil, 0) when none exists.
+func loadCheckpoint(c *mr.Cluster, base string) (any, int, error) {
+	fs := c.FS()
+	best, bestIter := "", -1
+	for _, n := range fs.List() {
+		if it, ok := ckptIter(base, n); ok && it > bestIter {
+			best, bestIter = n, it
+		}
+	}
+	if bestIter < 0 {
+		return nil, 0, nil
+	}
+	recs, err := fs.ReadAll(best)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: checkpoint %q: %w", best, err)
+	}
+	if len(recs) != 1 {
+		return nil, 0, fmt.Errorf("core: checkpoint %q has %d records, want 1", best, len(recs))
+	}
+	return recs[0].Data, bestIter, nil
+}
+
+// saveParafacCheckpoint snapshots the PARAFAC loop state after an
+// iteration. Everything is deep-copied: the live loop mutates factors
+// and lambda in place on the very next iteration.
+func saveParafacCheckpoint(c *mr.Cluster, base string, it int,
+	factors []*matrix.Matrix, lambda, prevLambda []float64,
+	prevFit float64, fits []float64, converged bool) error {
+	ck := &parafacCkpt{
+		factors:    cloneMatrices(factors),
+		lambda:     append([]float64(nil), lambda...),
+		prevLambda: append([]float64(nil), prevLambda...),
+		prevFit:    prevFit,
+		fits:       append([]float64(nil), fits...),
+		converged:  converged,
+	}
+	bytes := matricesBytes(factors) + int64(len(lambda)+len(prevLambda)+len(fits))*8 + 16
+	return writeCheckpoint(c, base, it, ck, bytes)
+}
+
+// loadParafacCheckpoint returns the newest PARAFAC checkpoint under
+// base, or (nil, 0) when none exists.
+func loadParafacCheckpoint(c *mr.Cluster, base string) (*parafacCkpt, int, error) {
+	data, it, err := loadCheckpoint(c, base)
+	if err != nil || data == nil {
+		return nil, 0, err
+	}
+	ck, ok := data.(*parafacCkpt)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: checkpoint %q is not a PARAFAC checkpoint", ckptName(base, it))
+	}
+	return ck, it, nil
+}
+
+// saveTuckerCheckpoint snapshots the Tucker loop state after an
+// iteration.
+func saveTuckerCheckpoint(c *mr.Cluster, base string, it int,
+	factors []*matrix.Matrix, core *tensor.Dense,
+	coreNorms, fits []float64, prevNorm float64, converged bool) error {
+	ck := &tuckerCkpt{
+		factors:   cloneMatrices(factors),
+		core:      cloneDense(core),
+		coreNorms: append([]float64(nil), coreNorms...),
+		fits:      append([]float64(nil), fits...),
+		prevNorm:  prevNorm,
+		converged: converged,
+	}
+	bytes := matricesBytes(factors) + int64(len(core.Data))*8 +
+		int64(len(coreNorms)+len(fits))*8 + 16
+	return writeCheckpoint(c, base, it, ck, bytes)
+}
+
+// loadTuckerCheckpoint returns the newest Tucker checkpoint under base,
+// or (nil, 0) when none exists.
+func loadTuckerCheckpoint(c *mr.Cluster, base string) (*tuckerCkpt, int, error) {
+	data, it, err := loadCheckpoint(c, base)
+	if err != nil || data == nil {
+		return nil, 0, err
+	}
+	ck, ok := data.(*tuckerCkpt)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: checkpoint %q is not a Tucker checkpoint", ckptName(base, it))
+	}
+	return ck, it, nil
+}
+
+// iterSeed derives the RNG seed of one outer iteration from the run
+// seed, so any randomness consumed inside an iteration (dead-component
+// reinitialization) is a function of (Seed, iteration) alone — a
+// resumed run draws exactly what the original run would have.
+func iterSeed(seed int64, it int) int64 {
+	h := (uint64(seed) ^ 0x9e3779b97f4a7c15) + (uint64(it)+1)*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0x94d049bb133111eb
+	h ^= h >> 27
+	return int64(h)
+}

@@ -35,6 +35,14 @@ type Options struct {
 	// for continuing a long decomposition in a later session. The
 	// model's rank must match.
 	WarmStart *tensor.Kruskal
+	// Checkpoint, when non-empty, is a DFS base path under which the
+	// driver persists its complete iteration state after every outer
+	// iteration (atomic commit, older checkpoints pruned), and from
+	// which a fresh run resumes if a checkpoint exists. A run killed
+	// mid-iteration — e.g. by a FaultPlan's KillAfterJobs — can be
+	// restarted on a new cluster sharing the same FS
+	// (mr.NewClusterWithFS) and converges to the bit-identical result.
+	Checkpoint string
 }
 
 func (o Options) withDefaults() Options {
@@ -111,12 +119,43 @@ func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*Para
 	res := &ParafacResult{}
 	prevFit := math.Inf(-1)
 	prevLambda := make([]float64, rank)
-	for it := 0; it < opt.MaxIters; it++ {
+	startIter := 0
+	if opt.Checkpoint != "" {
+		ck, ckIter, err := loadParafacCheckpoint(s.cluster, opt.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			if len(ck.factors) != 3 || ck.factors[0].Cols != rank {
+				return nil, fmt.Errorf("core: checkpoint %q has rank %d, want %d",
+					opt.Checkpoint, ck.factors[0].Cols, rank)
+			}
+			for m := range factors {
+				factors[m] = ck.factors[m].Clone()
+			}
+			copy(lambda, ck.lambda)
+			copy(prevLambda, ck.prevLambda)
+			prevFit = ck.prevFit
+			res.Fits = append([]float64(nil), ck.fits...)
+			res.Iters = ckIter
+			startIter = ckIter
+			if ck.converged {
+				res.Converged = true
+				res.Model = &tensor.Kruskal{Lambda: lambda, Factors: factors}
+				return res, nil
+			}
+		}
+	}
+	for it := startIter; it < opt.MaxIters; it++ {
 		copy(prevLambda, lambda)
-		if err := parafacSweep(s, factors, lambda, rng, opt.Variant); err != nil {
+		// Randomness inside the sweep (dead-component reinit) is keyed
+		// to (Seed, it) so a checkpoint-resumed run draws identically.
+		sweepRNG := rand.New(rand.NewSource(iterSeed(opt.Seed, it)))
+		if err := parafacSweep(s, factors, lambda, sweepRNG, opt.Variant); err != nil {
 			return nil, err
 		}
 		res.Iters = it + 1
+		converged := false
 		if !opt.TrackFit && it > 0 {
 			// Cheap convergence criterion when fit tracking is off:
 			// stop when the component weights stabilize.
@@ -128,8 +167,7 @@ func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*Para
 				}
 			}
 			if maxRel < opt.Tol {
-				res.Converged = true
-				break
+				converged = true
 			}
 		}
 		if opt.TrackFit {
@@ -137,10 +175,20 @@ func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*Para
 			fit := model.Fit(x)
 			res.Fits = append(res.Fits, fit)
 			if fit-prevFit >= 0 && fit-prevFit < opt.Tol {
-				res.Converged = true
-				break
+				converged = true
+			} else {
+				prevFit = fit
 			}
-			prevFit = fit
+		}
+		if opt.Checkpoint != "" {
+			if err := saveParafacCheckpoint(s.cluster, opt.Checkpoint, it+1,
+				factors, lambda, prevLambda, prevFit, res.Fits, converged); err != nil {
+				return nil, err
+			}
+		}
+		if converged {
+			res.Converged = true
+			break
 		}
 	}
 	res.Model = &tensor.Kruskal{Lambda: lambda, Factors: factors}

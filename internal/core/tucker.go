@@ -60,7 +60,35 @@ func tuckerALSStaged(s *Staged, x *tensor.Tensor, core [3]int, opt Options) (*Tu
 	res := &TuckerResult{}
 	var lastY []YEntry
 	prevNorm := 0.0
-	for it := 0; it < opt.MaxIters; it++ {
+	startIter := 0
+	if opt.Checkpoint != "" {
+		ck, ckIter, err := loadTuckerCheckpoint(s.cluster, opt.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			for m := range factors {
+				if len(ck.factors) != 3 || ck.factors[m].Cols != core[m] {
+					return nil, fmt.Errorf("core: checkpoint %q does not match core shape %v",
+						opt.Checkpoint, core)
+				}
+			}
+			for m := range factors {
+				factors[m] = ck.factors[m].Clone()
+			}
+			res.CoreNorms = append([]float64(nil), ck.coreNorms...)
+			res.Fits = append([]float64(nil), ck.fits...)
+			res.Iters = ckIter
+			res.Model = &tensor.TuckerModel{Core: cloneDense(ck.core), Factors: cloneMatrices(ck.factors)}
+			prevNorm = ck.prevNorm
+			startIter = ckIter
+			if ck.converged {
+				res.Converged = true
+				return res, nil
+			}
+		}
+	}
+	for it := startIter; it < opt.MaxIters; it++ {
 		for n := 0; n < 3; n++ {
 			m1, m2 := otherModes(n)
 			ys, err := TuckerContract(s, n, factors[m1], factors[m2], opt.Variant)
@@ -101,11 +129,20 @@ func tuckerALSStaged(s *Staged, x *tensor.Tensor, core [3]int, opt Options) (*Tu
 			res.Fits = append(res.Fits, res.Model.Fit(x))
 		}
 		// Stop when ‖𝒢‖ ceases to increase (Algorithm 2 line 10).
-		if it > 0 && norm-prevNorm < opt.Tol*math.Max(1, prevNorm) {
+		converged := it > 0 && norm-prevNorm < opt.Tol*math.Max(1, prevNorm)
+		if !converged {
+			prevNorm = norm
+		}
+		if opt.Checkpoint != "" {
+			if err := saveTuckerCheckpoint(s.cluster, opt.Checkpoint, it+1,
+				factors, g, res.CoreNorms, res.Fits, prevNorm, converged); err != nil {
+				return nil, err
+			}
+		}
+		if converged {
 			res.Converged = true
 			break
 		}
-		prevNorm = norm
 	}
 	return res, nil
 }

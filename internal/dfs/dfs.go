@@ -44,6 +44,7 @@ type Stats struct {
 	BlocksWritten  int64 // logical blocks
 	FilesCreated   int64
 	FilesDeleted   int64
+	FilesAborted   int64 // staged files discarded before publication
 }
 
 // Add accumulates other into s.
@@ -56,6 +57,7 @@ func (s *Stats) Add(other Stats) {
 	s.BlocksWritten += other.BlocksWritten
 	s.FilesCreated += other.FilesCreated
 	s.FilesDeleted += other.FilesDeleted
+	s.FilesAborted += other.FilesAborted
 }
 
 type file struct {
@@ -69,7 +71,13 @@ type FS struct {
 	mu    sync.Mutex
 	opts  Options
 	files map[string]*file
-	stats Stats
+	// staging holds files between Create and Close. A staged file's name
+	// is reserved (a second Create fails) but the file is invisible to
+	// every read-side method until Close publishes it — the atomicity a
+	// real job gets from writing to a task-attempt directory and renaming
+	// into place on commit.
+	staging map[string]*file
+	stats   Stats
 }
 
 // New returns an empty file system with the given options
@@ -81,7 +89,7 @@ func New(opts Options) *FS {
 	if opts.Replication <= 0 {
 		opts.Replication = 3
 	}
-	return &FS{opts: opts, files: make(map[string]*file)}
+	return &FS{opts: opts, files: make(map[string]*file), staging: make(map[string]*file)}
 }
 
 // ErrNotExist is returned when a named file is absent.
@@ -95,30 +103,44 @@ type ErrExist struct{ Name string }
 func (e *ErrExist) Error() string { return fmt.Sprintf("dfs: file %q already exists", e.Name) }
 
 // Create makes a new empty file and returns a writer for it. Like HDFS,
-// files are write-once: Create fails if the name already exists.
+// files are write-once: Create fails if the name already exists, staged
+// or published. The file stays invisible — absent from ReadAll, Exists,
+// Size, List, and Delete — until the writer's Close publishes it
+// atomically; a writer abandoned by a failed task attempt (Abort, or
+// simply never closed) exposes no partial output.
 func (fs *FS) Create(name string) (*Writer, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if _, ok := fs.files[name]; ok {
 		return nil, &ErrExist{Name: name}
 	}
+	if _, ok := fs.staging[name]; ok {
+		return nil, &ErrExist{Name: name}
+	}
 	f := &file{}
-	fs.files[name] = f
+	fs.staging[name] = f
 	fs.stats.FilesCreated++
-	return &Writer{fs: fs, f: f}, nil
+	return &Writer{fs: fs, name: name, f: f}, nil
 }
 
 // Writer appends records to a file. It buffers nothing; every Append is
-// accounted immediately. Writers are safe for concurrent use.
+// accounted immediately. Writers are safe for concurrent use. The file
+// becomes visible only when Close commits it; Abort discards it.
 type Writer struct {
-	fs *FS
-	f  *file
+	fs   *FS
+	name string
+	f    *file
+	done bool // closed or aborted (guarded by fs.mu)
 }
 
-// Append adds one record to the file.
+// Append adds one record to the file. Appending to a closed or aborted
+// writer panics: the commit protocol forbids mutating published files.
 func (w *Writer) Append(data any, size int64) {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
+	if w.done {
+		panic("dfs: Append on a closed or aborted writer")
+	}
 	w.f.records = append(w.f.records, Record{Data: data, Size: size})
 	w.f.bytes += size
 	w.fs.stats.BytesWritten += size
@@ -130,6 +152,9 @@ func (w *Writer) Append(data any, size int64) {
 func (w *Writer) AppendAll(recs []Record) {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
+	if w.done {
+		panic("dfs: AppendAll on a closed or aborted writer")
+	}
 	w.f.records = append(w.f.records, recs...)
 	for _, r := range recs {
 		w.f.bytes += r.Size
@@ -139,15 +164,38 @@ func (w *Writer) AppendAll(recs []Record) {
 	w.fs.stats.RecordsWritten += int64(len(recs))
 }
 
-// Close finalizes the file, charging block-level accounting.
+// Close atomically publishes the file and charges block-level
+// accounting. Calling Close again — or after Abort — is a no-op, so
+// cleanup paths may close unconditionally.
 func (w *Writer) Close() {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
+	if w.done {
+		return
+	}
+	w.done = true
+	delete(w.fs.staging, w.name)
+	w.fs.files[w.name] = w.f
 	blocks := (w.f.bytes + w.fs.opts.BlockSize - 1) / w.fs.opts.BlockSize
 	if w.f.bytes > 0 && blocks == 0 {
 		blocks = 1
 	}
 	w.fs.stats.BlocksWritten += blocks
+}
+
+// Abort discards a staged file, releasing its name. The bytes already
+// appended stay charged in Stats — the physical writes happened before
+// the attempt died — but no reader ever observes the partial file.
+// Abort after Close (or a second Abort) is a no-op.
+func (w *Writer) Abort() {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.done {
+		return
+	}
+	w.done = true
+	delete(w.fs.staging, w.name)
+	w.fs.stats.FilesAborted++
 }
 
 // ReadAll returns all records of a file and charges a full read.

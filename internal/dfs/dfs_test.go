@@ -161,6 +161,7 @@ func TestResetStats(t *testing.T) {
 	fs := New(Options{})
 	w, _ := fs.Create("f")
 	w.Append(1, 1)
+	w.Close()
 	fs.ResetStats()
 	if s := fs.Stats(); s != (Stats{}) {
 		t.Fatalf("stats not reset: %+v", s)
@@ -177,6 +178,121 @@ func TestStatsAdd(t *testing.T) {
 	if a.BytesWritten != 11 || a.BytesRead != 22 || a.RecordsRead != 33 || a.FilesCreated != 1 {
 		t.Fatalf("Add=%+v", a)
 	}
+}
+
+func TestStagedFileInvisibleUntilClose(t *testing.T) {
+	// The task-attempt commit protocol: between Create and Close the file
+	// must be invisible to every read-side method, so a failed attempt
+	// never exposes partial output.
+	fs := New(Options{})
+	w, err := fs.Create("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append("half", 10)
+	if fs.Exists("part") {
+		t.Fatal("staged file visible via Exists")
+	}
+	if _, err := fs.ReadAll("part"); err == nil {
+		t.Fatal("staged file readable")
+	}
+	if _, err := fs.Size("part"); err == nil {
+		t.Fatal("staged file has observable Size")
+	}
+	if _, err := fs.NumRecords("part"); err == nil {
+		t.Fatal("staged file has observable NumRecords")
+	}
+	for _, n := range fs.List() {
+		if n == "part" {
+			t.Fatal("staged file listed")
+		}
+	}
+	if err := fs.Delete("part"); err == nil {
+		t.Fatal("staged file deletable")
+	}
+	// The name is reserved while staged: a speculative duplicate attempt
+	// racing to the same output must fail, not double-write.
+	if _, err := fs.Create("part"); err == nil {
+		t.Fatal("staged name not reserved")
+	}
+	w.Close()
+	recs, err := fs.ReadAll("part")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("published file unreadable: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestAbortDiscardsStagedFile(t *testing.T) {
+	fs := New(Options{})
+	w, err := fs.Create("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(1, 100)
+	w.Abort()
+	if fs.Exists("doomed") {
+		t.Fatal("aborted file published")
+	}
+	if fs.Stats().FilesAborted != 1 {
+		t.Fatalf("FilesAborted=%d", fs.Stats().FilesAborted)
+	}
+	// The physical write happened before the attempt died; it stays
+	// charged.
+	if fs.Stats().BytesWritten != 100 {
+		t.Fatalf("BytesWritten=%d", fs.Stats().BytesWritten)
+	}
+	// The name is released: a retry attempt can recreate and commit.
+	w2, err := fs.Create("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(2, 50)
+	w2.Close()
+	recs, err := fs.ReadAll("doomed")
+	if err != nil || len(recs) != 1 || recs[0].Data != 2 {
+		t.Fatalf("retried file wrong: recs=%v err=%v", recs, err)
+	}
+	// Abort after Close must not unpublish.
+	w2.Abort()
+	if !fs.Exists("doomed") {
+		t.Fatal("Abort after Close unpublished the file")
+	}
+}
+
+func TestDoubleCloseIdempotent(t *testing.T) {
+	fs := New(Options{BlockSize: 10})
+	w, _ := fs.Create("f")
+	w.Append(1, 25)
+	w.Close()
+	blocks := fs.Stats().BlocksWritten
+	w.Close() // must not double-charge or re-publish
+	if got := fs.Stats().BlocksWritten; got != blocks {
+		t.Fatalf("double Close recharged blocks: %d -> %d", blocks, got)
+	}
+	// Close after Abort must not publish.
+	wa, _ := fs.Create("g")
+	wa.Abort()
+	wa.Close()
+	if fs.Exists("g") {
+		t.Fatal("Close after Abort published the file")
+	}
+	// Double Abort is likewise a no-op.
+	wa.Abort()
+	if fs.Stats().FilesAborted != 1 {
+		t.Fatalf("FilesAborted=%d after double Abort", fs.Stats().FilesAborted)
+	}
+}
+
+func TestAppendAfterClosePanics(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("f")
+	w.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append after Close did not panic")
+		}
+	}()
+	w.Append(1, 1)
 }
 
 func TestConcurrentAppend(t *testing.T) {

@@ -45,18 +45,30 @@ type CostModel struct {
 	// per machine (heartbeats, synchronization); it is what makes the
 	// machine-scalability curve in Figure 8 flatten.
 	CoordPerMachine float64
+	// RetryBackoff is the base scheduler delay in seconds before a
+	// failed task attempt is re-launched; attempt a of a task waits
+	// RetryBackoff·2^(a-1) (JobTracker heartbeat + re-scheduling
+	// latency, growing as Hadoop deprioritizes repeat offenders). Only
+	// charged when a FaultPlan injects failures.
+	RetryBackoff float64
+	// SpeculativeDelay is how many seconds a task must lag before the
+	// scheduler launches a speculative backup attempt. Only relevant
+	// when a FaultPlan injects stragglers.
+	SpeculativeDelay float64
 }
 
 // DefaultCostModel returns the calibrated constants used by the
 // experiment harness.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		JobStartup:      15.0,
-		PerMapRecord:    1.2e-6,
-		PerReduceRecord: 1.2e-6,
-		PerShuffleByte:  2.5e-8, // ~40 MB/s effective shuffle per machine
-		PerDFSByte:      1.0e-8, // ~100 MB/s effective DFS per machine
-		CoordPerMachine: 0.05,
+		JobStartup:       15.0,
+		PerMapRecord:     1.2e-6,
+		PerReduceRecord:  1.2e-6,
+		PerShuffleByte:   2.5e-8, // ~40 MB/s effective shuffle per machine
+		PerDFSByte:       1.0e-8, // ~100 MB/s effective DFS per machine
+		CoordPerMachine:  0.05,
+		RetryBackoff:     10.0, // one JobTracker heartbeat + JVM respawn
+		SpeculativeDelay: 30.0,
 	}
 }
 
@@ -85,6 +97,31 @@ type JobStats struct {
 	ShuffleBytes   int64
 	OutputRecords  int64
 	OutputBytes    int64
+	// Fault-recovery accounting, populated when a FaultPlan is
+	// installed. MapAttempts/ReduceAttempts count every launched attempt
+	// (first runs, retries, and speculative backups); without a plan
+	// they equal MapTasks/ReduceTasks.
+	MapAttempts    int
+	ReduceAttempts int
+	// TaskRetries counts failed attempts (each forced a retry, or — for
+	// the final one — failed the job).
+	TaskRetries int
+	// SpeculativeTasks counts backup attempts launched for stragglers;
+	// SpeculativeWins counts backups that finished before the original.
+	SpeculativeTasks int
+	SpeculativeWins  int
+	// WastedRecords/WastedBytes are the duplicate work of failed and
+	// losing-speculative attempts: records reprocessed and intermediate
+	// bytes re-emitted that a fault-free run never touches.
+	WastedRecords int64
+	WastedBytes   int64
+	// BlacklistedMachines counts machines this job stopped scheduling on
+	// after repeated failures.
+	BlacklistedMachines int
+	// PenaltySeconds is the simulated recovery time added to SimSeconds:
+	// the critical path of re-executions, exponential retry backoff, and
+	// straggler lag (net of speculative rescue).
+	PenaltySeconds float64
 	SimSeconds     float64
 }
 
@@ -104,7 +141,15 @@ type Totals struct {
 	// MaxMaterializedRecords tracks the largest between-jobs dataset
 	// written to the DFS — the quantity Tables III/IV bound.
 	MaxMaterializedRecords int64
-	SimSeconds             float64
+	// Fault-recovery aggregates (see the JobStats fields of the same
+	// names).
+	TaskRetries      int
+	SpeculativeTasks int
+	SpeculativeWins  int
+	WastedRecords    int64
+	WastedBytes      int64
+	PenaltySeconds   float64
+	SimSeconds       float64
 }
 
 // ErrResourceExhausted reports that a job exceeded the cluster's
@@ -148,6 +193,11 @@ type Cluster struct {
 	totals Totals
 	jobs   []JobStats
 	hints  map[string]shuffleHint
+	// faults is the installed failure schedule (nil: fault-free), and
+	// jobSeq numbers the jobs started since it was installed — the
+	// coordinate every fault decision is keyed by.
+	faults *FaultPlan
+	jobSeq int64
 }
 
 // shuffleHint carries sizing statistics from a completed job to the
@@ -165,6 +215,14 @@ type shuffleHint struct {
 
 // NewCluster creates a cluster with cfg and a fresh DFS.
 func NewCluster(cfg Config) *Cluster {
+	return NewClusterWithFS(cfg, dfs.New(dfs.Options{}))
+}
+
+// NewClusterWithFS creates a cluster backed by an existing file system —
+// the restart-after-crash pattern: HDFS (replicated blocks) survives a
+// JobTracker death, so a cluster brought up on the old cluster's FS can
+// resume an iterative computation from the checkpoints it finds there.
+func NewClusterWithFS(cfg Config, fs *dfs.FS) *Cluster {
 	if cfg.Machines <= 0 {
 		cfg.Machines = 1
 	}
@@ -174,7 +232,41 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCostModel()
 	}
-	return &Cluster{cfg: cfg, fs: dfs.New(dfs.Options{})}
+	return &Cluster{cfg: cfg, fs: fs}
+}
+
+// InstallFaultPlan installs (or, with nil, removes) a failure schedule
+// and restarts the job sequence the plan's decisions are keyed by, so
+// the same plan on the same job sequence injects the same faults.
+// Deterministic injection assumes jobs are submitted in a deterministic
+// order (drivers run job chains sequentially); concurrent Run callers
+// race for sequence numbers and get scheduling-dependent faults —
+// outputs remain exact either way.
+func (c *Cluster) InstallFaultPlan(p *FaultPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobSeq = 0
+	if p == nil {
+		c.faults = nil
+		return
+	}
+	q := p.withDefaults()
+	c.faults = &q
+}
+
+// startJob assigns the next job sequence number and returns the
+// installed fault plan, or ErrClusterKilled when the plan's kill budget
+// is spent.
+func (c *Cluster) startJob(name string) (*FaultPlan, int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.jobSeq
+	c.jobSeq++
+	p := c.faults
+	if p != nil && p.KillAfterJobs > 0 && seq >= int64(p.KillAfterJobs) {
+		return nil, seq, &ErrClusterKilled{Job: name, AfterJobs: p.KillAfterJobs}
+	}
+	return p, seq, nil
 }
 
 // FS returns the cluster's distributed file system.
@@ -253,5 +345,11 @@ func (c *Cluster) record(st JobStats) {
 	if st.OutputRecords > t.MaxMaterializedRecords {
 		t.MaxMaterializedRecords = st.OutputRecords
 	}
+	t.TaskRetries += st.TaskRetries
+	t.SpeculativeTasks += st.SpeculativeTasks
+	t.SpeculativeWins += st.SpeculativeWins
+	t.WastedRecords += st.WastedRecords
+	t.WastedBytes += st.WastedBytes
+	t.PenaltySeconds += st.PenaltySeconds
 	t.SimSeconds += st.SimSeconds
 }

@@ -2,6 +2,7 @@ package mr
 
 import (
 	"errors"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -239,6 +240,87 @@ func TestConcurrentRunsAndSnapshots(t *testing.T) {
 	// The engine still works after resets, and hints survive them.
 	if _, st, err := Run(c, job("concurrent")); err != nil || st.OutputRecords != 4 {
 		t.Fatalf("post-reset run: st=%+v err=%v", st, err)
+	}
+}
+
+// TestFaultDeterminismAcrossProcs runs the same seeded FaultPlan at
+// GOMAXPROCS ∈ {1, 4, 16} and asserts the whole observable surface is
+// bit-identical: outputs, the per-job stats log in order (including
+// every retry/speculation/waste counter and the float-valued penalty),
+// and the cluster totals. Fault decisions are pure hashes applied in a
+// sequential post-pass, so scheduling must never leak in.
+func TestFaultDeterminismAcrossProcs(t *testing.T) {
+	type snapshot struct {
+		out    []int64
+		jobs   []JobStats
+		totals Totals
+	}
+	run := func(procs int) snapshot {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		// Near-zero SpeculativeDelay so the test's sub-second tasks can
+		// trigger speculative backups at all.
+		cost := DefaultCostModel()
+		cost.SpeculativeDelay = 1e-9
+		c := NewCluster(Config{Machines: 8, SlotsPerMachine: 2, Cost: cost})
+		items := make([]int64, 128)
+		for i := range items {
+			items[i] = int64(i)
+		}
+		if err := WriteFile(c, "in", items, func(int64) int64 { return 8 }); err != nil {
+			t.Fatal(err)
+		}
+		c.InstallFaultPlan(&FaultPlan{
+			Seed:          42,
+			FailureRate:   0.25,
+			StragglerRate: 0.15,
+			MaxAttempts:   32,
+		})
+		job := Job[int64, int64, int64]{
+			Name: "fault-sweep",
+			Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) {
+				x := r.(int64)
+				for i := int64(0); i < 3; i++ {
+					emit((x*7+i)%64, x+i)
+				}
+			}}},
+			Reduce: func(k int64, vs []int64, emit func(int64)) {
+				var s int64
+				for _, v := range vs {
+					s += v
+				}
+				emit(k<<20 ^ s)
+			},
+			Partition: HashInt64,
+		}
+		var out []int64
+		for rep := 0; rep < 3; rep++ { // several jobs → several jobSeq values
+			o, _, err := Run(c, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, o...)
+		}
+		return snapshot{out: out, jobs: c.Jobs(), totals: c.Totals()}
+	}
+	want := run(1)
+	if want.totals.TaskRetries == 0 || want.totals.SpeculativeTasks == 0 {
+		t.Fatalf("plan injected nothing to check: %+v", want.totals)
+	}
+	for _, procs := range []int{1, 4, 16} {
+		for rep := 0; rep < 3; rep++ {
+			got := run(procs)
+			if !reflect.DeepEqual(got.out, want.out) {
+				t.Fatalf("GOMAXPROCS=%d rep %d: outputs differ", procs, rep)
+			}
+			if !reflect.DeepEqual(got.jobs, want.jobs) {
+				t.Fatalf("GOMAXPROCS=%d rep %d: job stats differ:\n%+v\nvs\n%+v",
+					procs, rep, got.jobs, want.jobs)
+			}
+			if got.totals != want.totals {
+				t.Fatalf("GOMAXPROCS=%d rep %d: totals differ:\n%+v\nvs\n%+v",
+					procs, rep, got.totals, want.totals)
+			}
+		}
 	}
 }
 

@@ -84,6 +84,10 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	if job.Partition == nil {
 		return nil, JobStats{}, fmt.Errorf("mr: job %q has no partition function", job.Name)
 	}
+	plan, jobSeq, err := c.startJob(job.Name)
+	if err != nil {
+		return nil, JobStats{Name: job.Name}, err
+	}
 	kvSize := job.KVSize
 	if kvSize == nil {
 		kvSize = func(K, V) int64 { return 24 }
@@ -117,6 +121,7 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		bytes   int64
 	}
 	var tasks []func() taskOut
+	var taskInputs []int64 // records per map task, for the fault pass
 	for _, in := range job.Inputs {
 		recs, bounds, err := c.fs.SplitRanges(in.File, c.Workers())
 		if err != nil {
@@ -135,6 +140,7 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 			}
 			mapFn := in.Map
 			st.MapTasks++
+			taskInputs = append(taskInputs, int64(len(split)))
 			tasks = append(tasks, func() taskOut {
 				out := taskOut{buckets: make([][]pair[K, V], reducers)}
 				for r := range out.buckets {
@@ -237,6 +243,37 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		return nil, st, &ErrResourceExhausted{Job: job.Name, ShuffleRecords: st.ShuffleRecords, Limit: limit}
 	}
 
+	// --- Map fault pass ---------------------------------------------------
+	// Replay the fault plan's attempt history for the completed map tasks.
+	// This is a sequential post-pass over pure hashes, so the parallel
+	// execution above can never influence which faults fire — faults change
+	// counters and simulated time, never outputs.
+	var fstate *faultState
+	if plan != nil {
+		fstate = newFaultState(c.cfg.Machines)
+		mtasks := make([]taskCost, len(tasks))
+		for i := range tasks {
+			mtasks[i] = taskCost{
+				records: taskInputs[i],
+				bytes:   outs[i].bytes,
+				seconds: float64(taskInputs[i])*c.cfg.Cost.PerMapRecord +
+					float64(outs[i].bytes)*c.cfg.Cost.PerShuffleByte,
+			}
+		}
+		if ferr := plan.applyPhase(&st, fstate, c.cfg.Cost, job.Name, jobSeq, phaseMap, mtasks); ferr != nil {
+			for _, o := range outs {
+				for _, bucket := range o.buckets {
+					putSlice(bucket)
+				}
+			}
+			st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds
+			c.record(st)
+			return nil, st, ferr
+		}
+	} else {
+		st.MapAttempts = st.MapTasks
+	}
+
 	// --- Shuffle + reduce phases ----------------------------------------
 	// Every reduce task independently groups its own partition — walking
 	// the map tasks' buckets in task order, so reduce input order (and
@@ -251,11 +288,13 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	results := make([][]O, reducers)
 	resultBytes := make([]int64, reducers)
 	keyCounts := make([]int64, reducers)
+	redInputs := make([]int64, reducers) // pairs per reduce task, for the fault pass
 	runPool(pool, reducers, func(r int) {
 		keys := getSlice[K](keyCap)
 		values := getMap[K, V](keyCap)
 		for i := range outs {
 			bucket := outs[i].buckets[r]
+			redInputs[r] += int64(len(bucket))
 			for _, p := range bucket {
 				vs, ok := values[p.k]
 				if !ok {
@@ -281,6 +320,33 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		putMap(values)
 		putSlice(keys)
 	})
+
+	// --- Reduce fault pass ------------------------------------------------
+	// Same scheme as the map pass; the blacklist state carries over so a
+	// machine that failed map attempts stays blacklisted for reduce.
+	if plan != nil {
+		rtasks := make([]taskCost, reducers)
+		for r := range rtasks {
+			rtasks[r] = taskCost{
+				records: redInputs[r],
+				bytes:   resultBytes[r],
+				seconds: float64(redInputs[r])*c.cfg.Cost.PerReduceRecord +
+					float64(resultBytes[r])*c.cfg.Cost.PerDFSByte,
+			}
+		}
+		if ferr := plan.applyPhase(&st, fstate, c.cfg.Cost, job.Name, jobSeq, phaseReduce, rtasks); ferr != nil {
+			for r, out := range results {
+				putSlice(out)
+				results[r] = nil
+			}
+			st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds
+			c.record(st)
+			return nil, st, ferr
+		}
+	} else {
+		st.ReduceAttempts = reducers
+	}
+
 	var total int
 	for _, out := range results {
 		total += len(out)
@@ -307,7 +373,7 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		w.Close()
 	}
 
-	st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st)
+	st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds
 	c.record(st)
 	if st.MapTasks > 0 {
 		shuffled := st.ShuffleRecords - job.ExtraShuffleRecords
