@@ -10,6 +10,7 @@
 //	haten2bench -json            # machine-readable output
 //	haten2bench -exp mr -mrout BENCH_mr.json  # engine wall-clock sweep
 //	haten2bench -exp faults -faultsout BENCH_faults.json  # fault overhead
+//	haten2bench -exp mr -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment ids: table2 table3 table4 table5 table6 table7 table8
 // fig1a fig1b fig1c fig7a fig7b fig7c fig8 nell ablation combiner mr
@@ -23,12 +24,20 @@
 // speculative execution, and checkpoint-resume against a fault-free
 // baseline, verifying outputs stay bit-identical; -faultsout writes its
 // report to the named JSON file (BENCH_faults.json by convention).
+//
+// -cpuprofile writes a pprof CPU profile covering the selected
+// experiments, and -memprofile writes a heap profile taken after they
+// finish (post-GC, so it shows retained memory — the pools — rather
+// than transient garbage). Both feed `go tool pprof`, making perf work
+// on the engine measurable without ad-hoc harnesses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,12 +46,14 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		full      = flag.Bool("full", false, "run the larger sweeps")
-		seed      = flag.Int64("seed", 42, "data generation seed")
-		jsonOut   = flag.Bool("json", false, "emit reports as JSON instead of tables")
-		mrOut     = flag.String("mrout", "", "also write the mr experiment's report to this JSON file")
-		faultsOut = flag.String("faultsout", "", "also write the faults experiment's report to this JSON file")
+		exp        = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full       = flag.Bool("full", false, "run the larger sweeps")
+		seed       = flag.Int64("seed", 42, "data generation seed")
+		jsonOut    = flag.Bool("json", false, "emit reports as JSON instead of tables")
+		mrOut      = flag.String("mrout", "", "also write the mr experiment's report to this JSON file")
+		faultsOut  = flag.String("faultsout", "", "also write the faults experiment's report to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the experiments) to this file")
 	)
 	flag.Parse()
 	outs := map[string]string{}
@@ -52,10 +63,49 @@ func main() {
 	if *faultsOut != "" {
 		outs["faults"] = *faultsOut
 	}
-	if err := run(*exp, *full, *seed, *jsonOut, outs); err != nil {
+	err := profiled(*cpuProfile, *memProfile, func() error {
+		return run(*exp, *full, *seed, *jsonOut, outs)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "haten2bench:", err)
 		os.Exit(1)
 	}
+}
+
+// profiled runs fn under the requested pprof profiles. The CPU profile
+// covers exactly fn; the heap profile is taken after fn returns, behind
+// a forced GC, so it reports retained memory (the engine's pools and
+// hints) rather than collectible garbage.
+func profiled(cpuProfile, memProfile string, fn func() error) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // run executes the selected experiments; outs maps an experiment id to

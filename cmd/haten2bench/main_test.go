@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("nope", false, 1, false, nil); err == nil {
@@ -16,5 +20,35 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 	if err := run("table2, table5", false, 1, true, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestProfiledWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := profiled(cpu, mem, func() error {
+		return run("table2", false, 1, false, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestProfiledPropagatesRunError(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	err := profiled(cpu, "", func() error {
+		return run("nope", false, 1, false, nil)
+	})
+	if err == nil {
+		t.Fatal("experiment error swallowed by the profiling wrapper")
 	}
 }

@@ -13,8 +13,8 @@ import (
 // their bucket and group storage from scratch and the reuse PR 1 bought
 // evaporates without any test failing. The check applies to the mr
 // package only (the pools' home) and is flow-insensitive: a value bound
-// from a pool acquisition (getSlice, getMap, getCombineScratch, or a
-// raw sync.Pool Get) must, somewhere in the same outermost function,
+// from a pool acquisition (getSlice, getGroupArena, getCombineScratch,
+// or a raw sync.Pool Get) must, somewhere in the same outermost function,
 // be passed to the matching return call, be returned to the caller, or
 // escape into another location (whose owner then carries the
 // obligation).
@@ -29,6 +29,7 @@ var PoolReturn = &Analyzer{
 var poolKinds = map[string]string{
 	"getSlice":          "putSlice",
 	"getMap":            "putMap",
+	"getGroupArena":     "putGroupArena",
 	"getCombineScratch": "putCombineScratch",
 }
 

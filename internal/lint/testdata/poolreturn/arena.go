@@ -1,0 +1,71 @@
+// Fixture mirroring the arena grouper's get/put pair (internal/mr's
+// group.go): acquisitions that leak, are released, or escape.
+package mr
+
+import "sync"
+
+type groupArena struct {
+	keys []int
+	vals []int
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(groupArena) }}
+
+func getGroupArena(keyCap int) *groupArena {
+	if v := arenaPool.Get(); v != nil {
+		return v.(*groupArena)
+	}
+	return &groupArena{keys: make([]int, 0, keyCap)}
+}
+
+func putGroupArena(g *groupArena) {
+	g.keys = g.keys[:0]
+	g.vals = g.vals[:0]
+	arenaPool.Put(g)
+}
+
+func flaggedArenaLeak(keyCap int) int {
+	g := getGroupArena(keyCap) // want "pooled buffer g is acquired but never returned with putGroupArena"
+	n := len(g.keys)
+	return n
+}
+
+// flaggedArenaUse exercises the grouper through method-like reads only;
+// plain use is not a release, so the leak is still flagged.
+func flaggedArenaUse(pairs []int) {
+	g := getGroupArena(8) // want "pooled buffer g is acquired but never returned with putGroupArena"
+	for range pairs {
+		println(cap(g.vals))
+	}
+}
+
+func cleanArenaRoundTrip(pairs []int) int {
+	g := getGroupArena(len(pairs))
+	for _, p := range pairs {
+		g.vals = append(g.vals, p)
+	}
+	n := len(g.vals)
+	putGroupArena(g)
+	return n
+}
+
+func cleanArenaReturn(keyCap int) *groupArena {
+	g := getGroupArena(keyCap)
+	return g
+}
+
+type reduceState struct{ arena *groupArena }
+
+// cleanArenaEscape stores the grouper into a longer-lived location; the
+// release obligation transfers to reduceState's owner.
+func cleanArenaEscape(st *reduceState, keyCap int) {
+	g := getGroupArena(keyCap)
+	st.arena = g
+}
+
+// suppressedArena records why one deliberate leak is acceptable.
+func suppressedArena(keyCap int) {
+	//haten2:allow poolreturn fixture demonstrating suppression of an arena leak
+	g := getGroupArena(keyCap)
+	println(cap(g.keys))
+}

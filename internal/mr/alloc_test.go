@@ -1,0 +1,109 @@
+// Allocation-regression tests for the shuffle hot path. The arena
+// grouper (group.go) exists so a fiber-keyed job — one distinct key per
+// nonzero fiber, the dominant shape in the HaTen2 plans — performs no
+// per-key allocations once the typed pools are warm. These tests pin
+// that property with testing.AllocsPerRun: reintroducing per-key churn
+// (a map[K][]V group, unpooled buffers, per-key value slices) pushes
+// allocations per record from well under the budget to ~0.5 and fails
+// loudly.
+package mr_test
+
+import (
+	"testing"
+
+	"github.com/haten2/haten2/internal/mr"
+)
+
+// allocBudgetPerRecord is deliberately loose: steady state measures
+// ~0.002 allocs/record (fixed per-task and per-job overhead only), the
+// pre-arena grouper measured ~0.4, and the budget sits well clear of
+// both so pool evictions by a mid-measurement GC cannot flake the test.
+const allocBudgetPerRecord = 0.05
+
+// shuffleAllocJob is a fiber-keyed shuffle: every input record fans out
+// to 4 pairs over a 16Ki key space, values are summed per key.
+func shuffleAllocJob(c *mr.Cluster, name string) (mr.Job[int64, int64, int64], int64) {
+	const records = 20_000
+	items := make([]int64, records)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	if err := mr.WriteFile(c, "in-"+name, items, func(int64) int64 { return 8 }); err != nil {
+		panic(err)
+	}
+	job := mr.Job[int64, int64, int64]{
+		Name: name,
+		Inputs: []mr.Input[int64, int64]{{File: "in-" + name, Map: func(r any, emit func(int64, int64)) {
+			v := r.(int64)
+			for j := int64(0); j < 4; j++ {
+				emit((v*4+j)%16384, v)
+			}
+		}}},
+		Reduce: func(k int64, vs []int64, emit func(int64)) {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+		Partition: mr.HashInt64,
+	}
+	return job, records * 4
+}
+
+func TestShuffleAllocsPerRecord(t *testing.T) {
+	c := mr.NewCluster(mr.Config{Machines: 8, SlotsPerMachine: 4})
+	job, pairs := shuffleAllocJob(c, "alloc-shuffle")
+	// Two warm-up runs: the first populates the cluster's shuffle hints,
+	// the second fills the pools with hint-sized buffers.
+	for i := 0; i < 2; i++ {
+		if _, _, err := mr.Run(c, job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, _, err := mr.Run(c, job); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perRecord := avg / float64(pairs)
+	t.Logf("allocs/run = %.0f over %d shuffled pairs (%.4f allocs/record)", avg, pairs, perRecord)
+	if perRecord > allocBudgetPerRecord {
+		t.Errorf("shuffle hot path allocates %.4f allocs/record (budget %.2f): per-key allocation churn is back",
+			perRecord, allocBudgetPerRecord)
+	}
+}
+
+// TestShuffleAllocsPerRecordCombine pins the combiner path's budget.
+// The combiner itself sums in place and returns a subslice of its
+// input, so every allocation measured here belongs to the engine: the
+// pooled combine scratch and the arena must keep the path as flat as
+// the combiner-less one.
+func TestShuffleAllocsPerRecordCombine(t *testing.T) {
+	c := mr.NewCluster(mr.Config{Machines: 8, SlotsPerMachine: 4})
+	job, pairs := shuffleAllocJob(c, "alloc-combine")
+	job.Combine = func(k int64, vs []int64) []int64 {
+		var s int64
+		for _, v := range vs {
+			s += v
+		}
+		vs[0] = s
+		return vs[:1]
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := mr.Run(c, job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, _, err := mr.Run(c, job); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perRecord := avg / float64(pairs)
+	t.Logf("allocs/run = %.0f over %d pairs (%.4f allocs/record)", avg, pairs, perRecord)
+	if perRecord > allocBudgetPerRecord {
+		t.Errorf("combine shuffle path allocates %.4f allocs/record (budget %.2f): per-key allocation churn is back",
+			perRecord, allocBudgetPerRecord)
+	}
+}

@@ -11,6 +11,10 @@
 // On ≥ 4 cores the wall-clock per iteration must be ≥ 2× faster at
 // -cpu 4 than at -cpu 1 (the simulated SimSeconds are identical by
 // construction — real parallelism never changes the cost model).
+//
+// All benchmarks report allocations (-benchmem implied): the arena
+// grouper's allocs/op numbers are the acceptance figures recorded in
+// EXPERIMENTS.md, and alloc_test.go pins them against regression.
 package mr_test
 
 import (
@@ -54,6 +58,7 @@ func BenchmarkParafacDRIIteration(b *testing.B) {
 	}
 	other := [3][2]int{{1, 2}, {0, 2}, {0, 1}}
 	b.SetBytes(int64(nnz))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for n := 0; n < 3; n++ {
@@ -96,6 +101,7 @@ func BenchmarkEngineShuffle(b *testing.B) {
 		Partition: mr.HashInt64,
 	}
 	b.SetBytes(records * 4 * 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mr.Run(c, job); err != nil {
@@ -141,6 +147,7 @@ func BenchmarkEngineShuffleCombine(b *testing.B) {
 		Partition: mr.HashInt64,
 	}
 	b.SetBytes(records * 4 * 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mr.Run(c, job); err != nil {

@@ -208,9 +208,10 @@ type Cluster struct {
 // Hints only ever affect buffer capacities — never grouping or ordering
 // — so they cannot perturb determinism.
 type shuffleHint struct {
-	pairsPerBucket int64 // shuffle pairs per (map task, reducer) bucket
-	keysPerReducer int64 // distinct keys per reduce task
-	outPerReducer  int64 // output records per reduce task
+	pairsPerBucket  int64 // shuffle pairs per (map task, reducer) bucket
+	pairsPerReducer int64 // shuffle pairs per reduce task (sizes the value arena)
+	keysPerReducer  int64 // distinct keys per reduce task
+	outPerReducer   int64 // output records per reduce task
 }
 
 // NewCluster creates a cluster with cfg and a fresh DFS.

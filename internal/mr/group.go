@@ -1,0 +1,132 @@
+package mr
+
+// The reducer's grouping stage is the engine's allocation hot spot. The
+// original implementation grouped each reduce partition into a
+// map[K][]V, growing one heap-allocated value slice per distinct key —
+// and HaTen2's dominant job shape (the fiber-keyed DNN/DRN/DRI plans)
+// has one distinct key per nonzero fiber, so every job performed
+// millions of small allocations and an ALS run performed thousands of
+// such jobs. groupArena replaces that with a two-pass counting scheme
+// over a single flat value arena:
+//
+//	pass 1 (count):   walk the partition's buckets in task order,
+//	                  assigning each first-seen key the next slot in a
+//	                  pooled map[K]int32 index and counting its values;
+//	pass 2 (scatter): prefix-sum the counts into per-slot offsets, then
+//	                  walk the buckets again, writing each value into
+//	                  its key's contiguous run of one pooled []V arena.
+//
+// Reduce then receives vals[start:end] subslices of the arena instead
+// of individually allocated slices — zero per-key allocations once the
+// pools are warm. Both passes walk buckets in task order and slots are
+// assigned in first-seen key order, so reduce input order (and
+// therefore floating-point summation order and every byte of output)
+// is identical to the map-based grouping it replaces.
+//
+// Offsets are int32: a single reduce partition beyond 2³¹ pairs is far
+// outside the simulator's scale (the experiment harness caps whole
+// jobs at millions of shuffle records).
+type groupArena[K comparable, V any] struct {
+	// idx maps a key to its slot, assigned in first-seen order. The map
+	// (the expensive-to-rebuild part) is pooled with the struct.
+	idx map[K]int32
+	// keys holds the distinct keys in slot order.
+	keys []K
+	// next is, per slot, the value count after the count pass and the
+	// next write cursor during the scatter pass (a cursor that ends at
+	// the slot's end offset).
+	next []int32
+	// ends is the exclusive end offset of each slot's run in vals; slot
+	// i's run is vals[ends[i-1]:ends[i]] (slot 0 starts at 0), because
+	// runs are laid out in slot order.
+	ends []int32
+	// vals is the flat value arena, acquired from the []V pool at
+	// layout time and released by putGroupArena.
+	vals []V
+}
+
+// getGroupArena returns an empty grouper from the pool for the key and
+// value types, presized to keyCap distinct keys when freshly allocated.
+func getGroupArena[K comparable, V any](keyCap int) *groupArena[K, V] {
+	if v := poolFor[*groupArena[K, V]]().Get(); v != nil {
+		return v.(*groupArena[K, V])
+	}
+	if keyCap < 0 {
+		keyCap = 0
+	}
+	return &groupArena[K, V]{
+		idx:  make(map[K]int32, keyCap),
+		keys: make([]K, 0, keyCap),
+		next: make([]int32, 0, keyCap),
+		ends: make([]int32, 0, keyCap),
+	}
+}
+
+// putGroupArena releases the arena storage (clearing it so pooled
+// memory pins no values) and returns the grouper to its pool.
+func putGroupArena[K comparable, V any](g *groupArena[K, V]) {
+	putSlice(g.vals)
+	g.vals = nil
+	clear(g.idx)
+	clear(g.keys) // keys may hold pointers; zero before truncating
+	g.keys = g.keys[:0]
+	g.next = g.next[:0]
+	g.ends = g.ends[:0]
+	poolFor[*groupArena[K, V]]().Put(g)
+}
+
+// count is pass 1: register bucket's keys in first-seen order and tally
+// their values. Buckets must be offered in task order.
+func (g *groupArena[K, V]) count(bucket []pair[K, V]) {
+	for _, p := range bucket {
+		s, ok := g.idx[p.k]
+		if !ok {
+			s = int32(len(g.keys))
+			g.idx[p.k] = s
+			g.keys = append(g.keys, p.k)
+			g.next = append(g.next, 0)
+			g.ends = append(g.ends, 0)
+		}
+		g.next[s]++
+	}
+}
+
+// layout turns the counts into offsets and acquires the value arena,
+// presized to at least arenaCap (the shuffle hint from the previous run
+// of the job) so steady-state ALS iterations never regrow it.
+func (g *groupArena[K, V]) layout(arenaCap int) {
+	total := int32(0)
+	for i, c := range g.next {
+		g.next[i] = total
+		total += c
+		g.ends[i] = total
+	}
+	if n := int(total); n > arenaCap {
+		arenaCap = n
+	}
+	g.vals = getSlice[V](arenaCap)[:total]
+}
+
+// scatter is pass 2: write bucket's values into their keys' runs.
+// Buckets must be offered in the same task order as count, which makes
+// each run's internal order (map task index, emission order) — exactly
+// the reduce input order of the map-based grouping.
+func (g *groupArena[K, V]) scatter(bucket []pair[K, V]) {
+	for _, p := range bucket {
+		s := g.idx[p.k]
+		g.vals[g.next[s]] = p.v
+		g.next[s]++
+	}
+}
+
+// group returns slot i's values. The subslice is capacity-limited to
+// its run, so a reducer that appends to it reallocates instead of
+// overwriting its neighbor; it aliases pooled storage and is only valid
+// until putGroupArena.
+func (g *groupArena[K, V]) group(i int) []V {
+	start := int32(0)
+	if i > 0 {
+		start = g.ends[i-1]
+	}
+	return g.vals[start:g.ends[i]:g.ends[i]]
+}

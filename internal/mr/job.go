@@ -26,6 +26,9 @@ type Job[K comparable, V any, O any] struct {
 	// Inputs are the files and map functions; at least one is required.
 	Inputs []Input[K, V]
 	// Reduce is called once per distinct key with all of its values.
+	// The values slice aliases a pooled arena owned by the engine and is
+	// only valid for the duration of the call (Hadoop's contract: the
+	// reduce iterator cannot be kept); copy values out to retain them.
 	Reduce func(key K, values []V, emit func(O))
 	// Combine, when non-nil, merges the values one map task emitted for
 	// a key before they are shuffled — Hadoop's combiner. It must be
@@ -146,9 +149,23 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 				for r := range out.buckets {
 					out.buckets[r] = getSlice[pair[K, V]](bucketCap)
 				}
+				// Per-pair record/byte accounting is folded into emit so
+				// the task walks its buckets exactly once instead of
+				// filling them and then re-walking them to count.
 				emit := func(k K, v V) {
 					r := int(job.Partition(k) % uint64(reducers))
 					out.buckets[r] = append(out.buckets[r], pair[K, V]{k, v})
+					out.records++
+					out.bytes += kvSize(k, v)
+				}
+				if job.Combine != nil {
+					// Shuffle counters account the post-combine volume,
+					// so emit only routes and the combine walk (which
+					// visits every surviving pair anyway) accounts.
+					emit = func(k K, v V) {
+						r := int(job.Partition(k) % uint64(reducers))
+						out.buckets[r] = append(out.buckets[r], pair[K, V]{k, v})
+					}
 				}
 				for _, rec := range split {
 					mapFn(rec.Data, emit)
@@ -156,15 +173,14 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 				if job.Combine != nil {
 					scratch := getCombineScratch[K, V]()
 					for r, bucket := range out.buckets {
-						out.buckets[r] = combineBucket(bucket, job.Combine, scratch)
+						bucket = combineBucket(bucket, job.Combine, scratch)
+						out.buckets[r] = bucket
+						out.records += int64(len(bucket))
+						for _, p := range bucket {
+							out.bytes += kvSize(p.k, p.v)
+						}
 					}
 					putCombineScratch(scratch)
-				}
-				for _, bucket := range out.buckets {
-					out.records += int64(len(bucket))
-					for _, p := range bucket {
-						out.bytes += kvSize(p.k, p.v)
-					}
 				}
 				return out
 			})
@@ -275,33 +291,35 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	}
 
 	// --- Shuffle + reduce phases ----------------------------------------
-	// Every reduce task independently groups its own partition — walking
-	// the map tasks' buckets in task order, so reduce input order (and
-	// therefore floating-point summation order) is deterministic — and
-	// immediately reduces it. Reducer partitions are disjoint, so the
-	// tasks parallelize with no synchronization beyond the pool itself.
-	keyCap, outCap := 0, 0
+	// Every reduce task independently groups its own partition with a
+	// pooled two-pass arena (see group.go) — both passes walk the map
+	// tasks' buckets in task order, so reduce input order (and therefore
+	// floating-point summation order) is deterministic — and immediately
+	// reduces it, with Reduce receiving contiguous subslices of the
+	// arena instead of per-key heap slices. Reducer partitions are
+	// disjoint, so the tasks parallelize with no synchronization beyond
+	// the pool itself.
+	keyCap, outCap, arenaCap := 0, 0, 0
 	if hasHint {
 		keyCap = int(hint.keysPerReducer) + 1
 		outCap = int(hint.outPerReducer) + 1
+		arenaCap = int(hint.pairsPerReducer) + 1
 	}
 	results := make([][]O, reducers)
 	resultBytes := make([]int64, reducers)
 	keyCounts := make([]int64, reducers)
 	redInputs := make([]int64, reducers) // pairs per reduce task, for the fault pass
 	runPool(pool, reducers, func(r int) {
-		keys := getSlice[K](keyCap)
-		values := getMap[K, V](keyCap)
+		g := getGroupArena[K, V](keyCap)
 		for i := range outs {
 			bucket := outs[i].buckets[r]
 			redInputs[r] += int64(len(bucket))
-			for _, p := range bucket {
-				vs, ok := values[p.k]
-				if !ok {
-					keys = append(keys, p.k)
-				}
-				values[p.k] = append(vs, p.v)
-			}
+			g.count(bucket)
+		}
+		g.layout(arenaCap)
+		for i := range outs {
+			bucket := outs[i].buckets[r]
+			g.scatter(bucket)
 			putSlice(bucket)
 			outs[i].buckets[r] = nil
 		}
@@ -311,14 +329,13 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 			out = append(out, o)
 			bytes += outSize(o)
 		}
-		for _, k := range keys {
-			job.Reduce(k, values[k], emit)
+		for i, k := range g.keys {
+			job.Reduce(k, g.group(i), emit)
 		}
 		results[r] = out
 		resultBytes[r] = bytes
-		keyCounts[r] = int64(len(keys))
-		putMap(values)
-		putSlice(keys)
+		keyCounts[r] = int64(len(g.keys))
+		putGroupArena(g)
 	})
 
 	// --- Reduce fault pass ------------------------------------------------
@@ -378,9 +395,10 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	if st.MapTasks > 0 {
 		shuffled := st.ShuffleRecords - job.ExtraShuffleRecords
 		c.setHint(job.Name, shuffleHint{
-			pairsPerBucket: ceilDiv(shuffled, int64(st.MapTasks)*int64(reducers)),
-			keysPerReducer: ceilDiv(distinctKeys, int64(reducers)),
-			outPerReducer:  ceilDiv(st.OutputRecords, int64(reducers)),
+			pairsPerBucket:  ceilDiv(shuffled, int64(st.MapTasks)*int64(reducers)),
+			pairsPerReducer: ceilDiv(shuffled, int64(reducers)),
+			keysPerReducer:  ceilDiv(distinctKeys, int64(reducers)),
+			outPerReducer:   ceilDiv(st.OutputRecords, int64(reducers)),
 		})
 	}
 	return all, st, nil

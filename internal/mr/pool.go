@@ -6,13 +6,13 @@ import (
 )
 
 // The engine recycles its per-job scratch memory — map-side pair
-// buckets, reducer group maps, and reduce output buffers — across Run
-// calls. ALS drivers run thousands of structurally identical jobs in a
-// loop, so without reuse every iteration reallocates (and the GC
-// retires) hundreds of megabytes of short-lived buffers. Run is generic,
-// so the pools are keyed by concrete element type in a package-level
-// registry: every instantiation of Run with the same key/value types
-// shares one pool.
+// buckets, reducer group arenas (group.go), and reduce output buffers —
+// across Run calls. ALS drivers run thousands of structurally identical
+// jobs in a loop, so without reuse every iteration reallocates (and the
+// GC retires) hundreds of megabytes of short-lived buffers. Run is
+// generic, so the pools are keyed by concrete element type in a
+// package-level registry: every instantiation of Run with the same
+// key/value types shares one pool.
 
 var typedPools sync.Map // reflect.Type -> *sync.Pool
 
@@ -50,23 +50,4 @@ func putSlice[T any](s []T) {
 	clear(s)
 	s = s[:0]
 	poolFor[[]T]().Put(&s)
-}
-
-// getMap returns an empty map[K][]V from the pool, presized to sizeHint
-// when freshly allocated. Pooled maps keep their bucket storage, which
-// is the expensive part of rebuilding a reducer's group per job.
-func getMap[K comparable, V any](sizeHint int) map[K][]V {
-	if v := poolFor[map[K][]V]().Get(); v != nil {
-		return v.(map[K][]V)
-	}
-	if sizeHint < 0 {
-		sizeHint = 0
-	}
-	return make(map[K][]V, sizeHint)
-}
-
-// putMap empties m and returns it to the pool.
-func putMap[K comparable, V any](m map[K][]V) {
-	clear(m)
-	poolFor[map[K][]V]().Put(m)
 }
