@@ -8,6 +8,12 @@
 //	haten2 -method tucker -core 5x5x5 -variant DRI -in tensor.coo -factors out/
 //	haten2 -method parafac -rank 5 -in fourway.coo          # 4-way input works too
 //	haten2 -method parafac -rank 10 -in tensor.coo -model m.txt
+//	haten2 -method parafac -rank 10 -in tensor.coo -trace run.trace.json -tracesummary
+//
+// -trace writes a Chrome trace_event JSON file of the run in simulated
+// time (load it in chrome://tracing or Perfetto); -tracesummary prints
+// a per-job-plan summary table. Traces are byte-identical across runs
+// and GOMAXPROCS settings (DESIGN.md §3e).
 //
 // The input format is one entry per line, "i j k [l] value" (0-based),
 // with an optional "# tensor I J K [L]" header; order-3 and order-4
@@ -25,6 +31,7 @@ import (
 	"strings"
 
 	haten2 "github.com/haten2/haten2"
+	"github.com/haten2/haten2/internal/obs"
 	"github.com/haten2/haten2/internal/tensor"
 )
 
@@ -41,13 +48,16 @@ func main() {
 		seed     = flag.Int64("seed", 0, "factor initialization seed")
 		factors  = flag.String("factors", "", "directory to write factor matrices (TSV)")
 		model    = flag.String("model", "", "file to save the model to (3-way only)")
+		trace    = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (simulated time) to this path")
+		traceSum = flag.Bool("tracesummary", false, "print the per-job plan summary table after the run")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 	cfg := cliConfig{
 		in: *in, method: *method, rank: *rank, coreStr: *coreStr,
 		variantStr: *variant, machines: *machines, iters: *iters,
-		tol: *tol, seed: *seed, factorsDir: *factors, modelPath: *model, quiet: *quiet,
+		tol: *tol, seed: *seed, factorsDir: *factors, modelPath: *model,
+		tracePath: *trace, traceSummary: *traceSum, quiet: *quiet,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "haten2:", err)
@@ -57,10 +67,53 @@ func main() {
 
 type cliConfig struct {
 	in, method, coreStr, variantStr, factorsDir, modelPath string
+	tracePath                                              string
 	rank, machines, iters                                  int
 	tol                                                    float64
 	seed                                                   int64
-	quiet                                                  bool
+	traceSummary, quiet                                    bool
+}
+
+// tracer returns a fresh tracer attached to the cluster when tracing
+// was requested, else nil (the engine's nil check keeps the untraced
+// path free).
+func (cfg cliConfig) tracer(cluster *haten2.Cluster) *obs.Tracer {
+	if cfg.tracePath == "" && !cfg.traceSummary {
+		return nil
+	}
+	tr := obs.NewTracer()
+	cluster.Unwrap().SetTracer(tr)
+	return tr
+}
+
+// writeTrace exports what the run traced: a Chrome trace_event file
+// for -trace, and the plan-summary table on stdout for -tracesummary.
+func writeTrace(cfg cliConfig, tr *obs.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !cfg.quiet {
+			fmt.Printf("trace written to %s\n", cfg.tracePath)
+		}
+	}
+	if cfg.traceSummary {
+		if err := tr.WriteSummary(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(cfg cliConfig) error {
@@ -93,6 +146,7 @@ func run3(cfg cliConfig, raw *tensor.Tensor) error {
 		return err
 	}
 	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: cfg.machines})
+	tr := cfg.tracer(cluster)
 	opt := haten2.Options{
 		Variant: variant, MaxIters: cfg.iters, Tol: cfg.tol, Seed: cfg.seed, TrackFit: true,
 	}
@@ -142,6 +196,9 @@ func run3(cfg cliConfig, raw *tensor.Tensor) error {
 		fmt.Printf("cluster: %d jobs, %d shuffled records (max %d in one job), simulated time %.1fs\n",
 			st.Jobs, st.ShuffleRecords, st.MaxShuffleRecords, st.SimSeconds)
 	}
+	if err := writeTrace(cfg, tr); err != nil {
+		return err
+	}
 	if cfg.modelPath != "" {
 		mf, err := os.Create(cfg.modelPath)
 		if err != nil {
@@ -170,6 +227,7 @@ func run4(cfg cliConfig, raw *tensor.Tensor) error {
 		return fmt.Errorf("-model is supported for 3-way tensors only")
 	}
 	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: cfg.machines})
+	tr := cfg.tracer(cluster)
 	opt := haten2.Options{MaxIters: cfg.iters, Tol: cfg.tol, Seed: cfg.seed, TrackFit: true}
 	d := x.Dims()
 	if !cfg.quiet {
@@ -207,6 +265,9 @@ func run4(cfg cliConfig, raw *tensor.Tensor) error {
 		st := cluster.Stats()
 		fmt.Printf("cluster: %d jobs, %d shuffled records, simulated time %.1fs\n",
 			st.Jobs, st.ShuffleRecords, st.SimSeconds)
+	}
+	if err := writeTrace(cfg, tr); err != nil {
+		return err
 	}
 	return writeFactors(cfg, facs)
 }

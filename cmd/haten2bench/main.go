@@ -25,6 +25,11 @@
 // baseline, verifying outputs stay bit-identical; -faultsout writes its
 // report to the named JSON file (BENCH_faults.json by convention).
 //
+// -trace writes one Chrome trace_event JSON file (simulated time,
+// DESIGN.md §3e) covering every cluster the selected experiments
+// create, and -tracesummary prints the aggregated per-job table after
+// they finish.
+//
 // -cpuprofile writes a pprof CPU profile covering the selected
 // experiments, and -memprofile writes a heap profile taken after they
 // finish (post-GC, so it shows retained memory — the pools — rather
@@ -42,6 +47,7 @@ import (
 	"time"
 
 	"github.com/haten2/haten2/internal/bench"
+	"github.com/haten2/haten2/internal/obs"
 )
 
 func main() {
@@ -54,6 +60,8 @@ func main() {
 		faultsOut  = flag.String("faultsout", "", "also write the faults experiment's report to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the experiments) to this file")
+		trace      = flag.String("trace", "", "write a Chrome trace_event JSON file (simulated time) covering the selected experiments to this path")
+		traceSum   = flag.Bool("tracesummary", false, "print the per-job plan summary table after the experiments")
 	)
 	flag.Parse()
 	outs := map[string]string{}
@@ -63,13 +71,45 @@ func main() {
 	if *faultsOut != "" {
 		outs["faults"] = *faultsOut
 	}
+	var tr *obs.Tracer
+	if *trace != "" || *traceSum {
+		tr = obs.NewTracer()
+	}
 	err := profiled(*cpuProfile, *memProfile, func() error {
-		return run(*exp, *full, *seed, *jsonOut, outs)
+		return run(*exp, *full, *seed, *jsonOut, outs, tr)
 	})
+	if err == nil {
+		err = exportTrace(tr, *trace, *traceSum)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "haten2bench:", err)
 		os.Exit(1)
 	}
+}
+
+// exportTrace writes the harness-wide trace file and/or prints the
+// plan-summary table once the selected experiments have run.
+func exportTrace(tr *obs.Tracer, path string, summary bool) error {
+	if tr == nil {
+		return nil
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if summary {
+		return tr.WriteSummary(os.Stdout)
+	}
+	return nil
 }
 
 // profiled runs fn under the requested pprof profiles. The CPU profile
@@ -109,9 +149,10 @@ func profiled(cpuProfile, memProfile string, fn func() error) error {
 }
 
 // run executes the selected experiments; outs maps an experiment id to
-// a file its JSON report is additionally written to.
-func run(exp string, full bool, seed int64, jsonOut bool, outs map[string]string) error {
-	cfg := bench.Config{Full: full, Seed: seed}
+// a file its JSON report is additionally written to, and tr (when
+// non-nil) traces every cluster the experiments create.
+func run(exp string, full bool, seed int64, jsonOut bool, outs map[string]string, tr *obs.Tracer) error {
+	cfg := bench.Config{Full: full, Seed: seed, Tracer: tr}
 	type runner func(bench.Config) (*bench.Report, error)
 	registry := map[string]runner{
 		"table2":   func(bench.Config) (*bench.Report, error) { return bench.Table2(), nil },

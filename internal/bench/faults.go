@@ -42,6 +42,7 @@ func Faults(cfg Config) (*Report, error) {
 
 	newCluster := func(plan *mr.FaultPlan) *mr.Cluster {
 		c := mr.NewCluster(clusterCfg)
+		c.SetTracer(cfg.Tracer)
 		c.InstallFaultPlan(plan)
 		return c
 	}
@@ -114,6 +115,7 @@ func Faults(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("kill scenario: want ErrClusterKilled, got %w", err)
 	}
 	c2 := mr.NewClusterWithFS(clusterCfg, c1.FS())
+	c2.SetTracer(cfg.Tracer)
 	c2.InstallFaultPlan(&mr.FaultPlan{Seed: cfg.Seed + 1, FailureRate: 0.15, MaxAttempts: 64})
 	res, err := core.ParafacALS(c2, x, rank, ckOpt)
 	if err != nil {

@@ -44,6 +44,7 @@ func MRBench(cfg Config) (*Report, error) {
 		// No shuffle cap: DRI's PairwiseMerge legitimately moves
 		// 2·nnz·R records per contraction.
 		c := mr.NewCluster(mr.Config{Machines: 8, SlotsPerMachine: 4})
+		c.SetTracer(cfg.Tracer)
 		s, err := core.Stage(c, "X", x)
 		if err != nil {
 			return outcome{}, err

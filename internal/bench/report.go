@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"github.com/haten2/haten2/internal/obs"
 )
 
 // Report is one regenerated table or figure.
@@ -81,6 +83,10 @@ type Config struct {
 	Full bool
 	// Seed drives all data generation.
 	Seed int64
+	// Tracer, when non-nil, is attached to every cluster the
+	// experiments create, so one trace file covers a whole harness run
+	// (haten2bench's -trace flag).
+	Tracer *obs.Tracer
 }
 
 // seconds renders a simulated duration with adaptive precision.

@@ -40,11 +40,13 @@ func newBenchClusterCfg(cfg Config, machines int) *mr.Cluster {
 	if cfg.Full {
 		cap = shuffleCapFull
 	}
-	return mr.NewCluster(mr.Config{
+	c := mr.NewCluster(mr.Config{
 		Machines:          machines,
 		SlotsPerMachine:   4,
 		MaxShuffleRecords: cap,
 	})
+	c.SetTracer(cfg.Tracer)
+	return c
 }
 
 // runTucker runs one Tucker-ALS iteration with the given variant and

@@ -2,17 +2,17 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
 )
 
-// tmpSeq distinguishes the temporary DFS files of concurrent or repeated
-// contractions.
-var tmpSeq atomic.Int64
-
-func tmpName(base, kind string) string {
-	return fmt.Sprintf("%s.tmp%d.%s", base, tmpSeq.Add(1), kind)
+// tmpName names a temporary DFS file. The sequence number comes from
+// the cluster, not a process global, so the file names — and with them
+// the job names and the exported traces — of a run on a fresh cluster
+// are reproducible no matter what ran earlier in the process.
+func tmpName(c *mr.Cluster, base, kind string) string {
+	return fmt.Sprintf("%s.tmp%d.%s", base, c.NextTmp(), kind)
 }
 
 // cleanup deletes temporary DFS files, ignoring absent ones.
@@ -101,12 +101,14 @@ func ParafacContract(s *Staged, n int, u1, u2 *matrix.Matrix, v Variant) (*matri
 // tuckerNaive: Algorithm 3. Q1 broadcast jobs build 𝒯 = 𝒳 ×_{m1} U1ᵀ one
 // column at a time, then Q2 broadcast jobs contract 𝒯 with U2.
 func (s *Staged) tuckerNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("plan", "tucker-naive"))
 	m1, m2 := otherModes(n)
 	fibers1, err := s.fiberKeys(m1)
 	if err != nil {
 		return nil, err
 	}
-	vecFile := tmpName(s.Name, "vec")
+	vecFile := tmpName(s.cluster, s.Name, "vec")
 	var tFiles []string
 	var tEntries []Entry
 	defer func() { s.cleanup(append(tFiles, vecFile)) }()
@@ -114,7 +116,7 @@ func (s *Staged) tuckerNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		if err := stageColumn(s.cluster, vecFile, u1, q); err != nil {
 			return nil, err
 		}
-		tf := tmpName(s.Name, fmt.Sprintf("T%d", q))
+		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T%d", q))
 		tFiles = append(tFiles, tf)
 		out, err := naiveContract(s.cluster, []string{s.Name}, s.Dims, m1, vecFile, int64(u1.Rows), int64(q), fibers1, tf)
 		if err != nil {
@@ -142,7 +144,7 @@ func (s *Staged) tuckerNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		if err := stageColumn(s.cluster, vecFile, u2, r); err != nil {
 			return nil, err
 		}
-		yf := tmpName(s.Name, fmt.Sprintf("Y%d", r))
+		yf := tmpName(s.cluster, s.Name, fmt.Sprintf("Y%d", r))
 		yFiles = append(yFiles, yf)
 		out, err := naiveContract(s.cluster, tFiles, tDims, m2, vecFile, int64(u2.Rows), int64(r), fibers2, yf)
 		if err != nil {
@@ -159,21 +161,23 @@ func (s *Staged) tuckerNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 // Q2 Hadamard jobs + one Collapse build 𝒴: Q+R+2 jobs, nnz·Q1·Q2 max
 // intermediate (the second Collapse input).
 func (s *Staged) tuckerDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("plan", "tucker-dnn"))
 	m1, m2 := otherModes(n)
-	vecFile := tmpName(s.Name, "vec")
+	vecFile := tmpName(s.cluster, s.Name, "vec")
 	var hFiles []string
 	defer func() { s.cleanup(append(hFiles, vecFile)) }()
 	for q := 0; q < u1.Cols; q++ {
 		if err := stageColumn(s.cluster, vecFile, u1, q); err != nil {
 			return nil, err
 		}
-		hf := tmpName(s.Name, fmt.Sprintf("H%d", q))
+		hf := tmpName(s.cluster, s.Name, fmt.Sprintf("H%d", q))
 		hFiles = append(hFiles, hf)
 		if err := hadamardVec(s.cluster, s.Name, m1, int32(q), vecFile, false, hf); err != nil {
 			return nil, err
 		}
 	}
-	tFile := tmpName(s.Name, "T")
+	tFile := tmpName(s.cluster, s.Name, "T")
 	hFiles = append(hFiles, tFile)
 	if _, err := collapse(s.cluster, hFiles[:len(hFiles)-1], m1, tFile); err != nil {
 		return nil, err
@@ -184,13 +188,13 @@ func (s *Staged) tuckerDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		if err := stageColumn(s.cluster, vecFile, u2, r); err != nil {
 			return nil, err
 		}
-		hf := tmpName(s.Name, fmt.Sprintf("H2_%d", r))
+		hf := tmpName(s.cluster, s.Name, fmt.Sprintf("H2_%d", r))
 		h2Files = append(h2Files, hf)
 		if err := hadamardVec(s.cluster, tFile, m2, int32(r), vecFile, false, hf); err != nil {
 			return nil, err
 		}
 	}
-	yFile := tmpName(s.Name, "Y")
+	yFile := tmpName(s.cluster, s.Name, "Y")
 	h2Files = append(h2Files, yFile)
 	out, err := collapse(s.cluster, h2Files[:len(h2Files)-1], m2, yFile)
 	if err != nil {
@@ -207,6 +211,8 @@ func (s *Staged) tuckerDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 // 𝒯″ directly from 𝒳 (no sequential dependency), then one CrossMerge:
 // Q+R+1 jobs, nnz·(Q1+Q2) max intermediate.
 func (s *Staged) tuckerDRN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("plan", "tucker-drn"))
 	t1Files, t2Files, vecFile, err := s.drnHadamards(n, u1, u2)
 	defer func() {
 		s.cleanup(t1Files)
@@ -216,16 +222,22 @@ func (s *Staged) tuckerDRN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	mg := tr.Begin("stage", "cross-merge")
+	defer tr.End(mg)
 	return crossMerge(s.cluster, t1Files, t2Files, n)
 }
 
 // tuckerDRI: Algorithm 9. One IMHP job + one CrossMerge: 2 jobs.
 func (s *Staged) tuckerDRI(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("plan", "tucker-dri"))
 	t1File, t2File, extra, err := s.driIMHP(n, u1, u2)
 	defer func() { s.cleanup(append(extra, t1File, t2File)) }()
 	if err != nil {
 		return nil, err
 	}
+	mg := tr.Begin("stage", "cross-merge")
+	defer tr.End(mg)
 	return crossMerge(s.cluster, []string{t1File}, []string{t2File}, n)
 }
 
@@ -234,6 +246,8 @@ func (s *Staged) tuckerDRI(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 // parafacNaive: Algorithm 4. Per component r: one broadcast job for
 // 𝒯ᵣ = 𝒳 ×̄_{m1} b_r and one for 𝒴ᵣ = 𝒯ᵣ ×̄_{m2} c_r: 2R jobs.
 func (s *Staged) parafacNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("plan", "parafac-naive"))
 	m1, m2 := otherModes(n)
 	fibers1, err := s.fiberKeys(m1)
 	if err != nil {
@@ -241,7 +255,7 @@ func (s *Staged) parafacNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 	}
 	tDims := s.Dims
 	tDims[m1] = int64(u1.Cols)
-	vecFile := tmpName(s.Name, "vec")
+	vecFile := tmpName(s.cluster, s.Name, "vec")
 	var tmp []string
 	defer func() { s.cleanup(append(tmp, vecFile)) }()
 	var ys []YEntry
@@ -249,7 +263,7 @@ func (s *Staged) parafacNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		if err := stageColumn(s.cluster, vecFile, u1, r); err != nil {
 			return nil, err
 		}
-		tf := tmpName(s.Name, fmt.Sprintf("T%d", r))
+		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T%d", r))
 		tmp = append(tmp, tf)
 		tOut, err := naiveContract(s.cluster, []string{s.Name}, s.Dims, m1, vecFile, int64(u1.Rows), int64(r), fibers1, tf)
 		if err != nil {
@@ -268,7 +282,7 @@ func (s *Staged) parafacNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		if err := stageColumn(s.cluster, vecFile, u2, r); err != nil {
 			return nil, err
 		}
-		yf := tmpName(s.Name, fmt.Sprintf("Y%d", r))
+		yf := tmpName(s.cluster, s.Name, fmt.Sprintf("Y%d", r))
 		tmp = append(tmp, yf)
 		yOut, err := naiveContract(s.cluster, []string{tf}, tDims, m2, vecFile, int64(u2.Rows), int64(r), fibers2, yf)
 		if err != nil {
@@ -284,8 +298,10 @@ func (s *Staged) parafacNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 // parafacDNN: Algorithm 6. Per component r: Hadamard + Collapse with b_r,
 // then Hadamard + Collapse with c_r: 4R jobs, nnz+J max intermediate.
 func (s *Staged) parafacDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("plan", "parafac-dnn"))
 	m1, m2 := otherModes(n)
-	vecFile := tmpName(s.Name, "vec")
+	vecFile := tmpName(s.cluster, s.Name, "vec")
 	var tmp []string
 	defer func() { s.cleanup(append(tmp, vecFile)) }()
 	var ys []YEntry
@@ -293,12 +309,12 @@ func (s *Staged) parafacDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		if err := stageColumn(s.cluster, vecFile, u1, r); err != nil {
 			return nil, err
 		}
-		hf := tmpName(s.Name, fmt.Sprintf("H%d", r))
+		hf := tmpName(s.cluster, s.Name, fmt.Sprintf("H%d", r))
 		tmp = append(tmp, hf)
 		if err := hadamardVec(s.cluster, s.Name, m1, int32(r), vecFile, false, hf); err != nil {
 			return nil, err
 		}
-		tf := tmpName(s.Name, fmt.Sprintf("T%d", r))
+		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T%d", r))
 		tmp = append(tmp, tf)
 		if _, err := collapse(s.cluster, []string{hf}, m1, tf); err != nil {
 			return nil, err
@@ -306,12 +322,12 @@ func (s *Staged) parafacDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		if err := stageColumn(s.cluster, vecFile, u2, r); err != nil {
 			return nil, err
 		}
-		h2 := tmpName(s.Name, fmt.Sprintf("H2_%d", r))
+		h2 := tmpName(s.cluster, s.Name, fmt.Sprintf("H2_%d", r))
 		tmp = append(tmp, h2)
 		if err := hadamardVec(s.cluster, tf, m2, int32(r), vecFile, false, h2); err != nil {
 			return nil, err
 		}
-		yf := tmpName(s.Name, fmt.Sprintf("Y%d", r))
+		yf := tmpName(s.cluster, s.Name, fmt.Sprintf("Y%d", r))
 		tmp = append(tmp, yf)
 		out, err := collapse(s.cluster, []string{h2}, m2, yf)
 		if err != nil {
@@ -327,6 +343,8 @@ func (s *Staged) parafacDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 // parafacDRN: Algorithm 8. 2R independent Hadamard jobs build ℱ′ and 𝒯″
 // from 𝒳, then one PairwiseMerge: 2R+1 jobs, 2·nnz·R max intermediate.
 func (s *Staged) parafacDRN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("plan", "parafac-drn"))
 	t1Files, t2Files, vecFile, err := s.drnHadamards(n, u1, u2)
 	defer func() {
 		s.cleanup(t1Files)
@@ -336,16 +354,22 @@ func (s *Staged) parafacDRN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	mg := tr.Begin("stage", "pairwise-merge")
+	defer tr.End(mg)
 	return pairwiseMerge(s.cluster, t1Files, t2Files, n)
 }
 
 // parafacDRI: Algorithm 10. One IMHP job + one PairwiseMerge: 2 jobs.
 func (s *Staged) parafacDRI(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("plan", "parafac-dri"))
 	t1File, t2File, extra, err := s.driIMHP(n, u1, u2)
 	defer func() { s.cleanup(append(extra, t1File, t2File)) }()
 	if err != nil {
 		return nil, err
 	}
+	mg := tr.Begin("stage", "pairwise-merge")
+	defer tr.End(mg)
 	return pairwiseMerge(s.cluster, []string{t1File}, []string{t2File}, n)
 }
 
@@ -355,13 +379,15 @@ func (s *Staged) parafacDRI(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 // jobs: 𝒯′_q = 𝒳 ∗̄_{m1} u1_q for every column of U1 and
 // 𝒯″_r = bin(𝒳) ∗̄_{m2} u2_r for every column of U2.
 func (s *Staged) drnHadamards(n int, u1, u2 *matrix.Matrix) (t1Files, t2Files []string, vecFile string, err error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("stage", "hadamards"))
 	m1, m2 := otherModes(n)
-	vecFile = tmpName(s.Name, "vec")
+	vecFile = tmpName(s.cluster, s.Name, "vec")
 	for q := 0; q < u1.Cols; q++ {
 		if err = stageColumn(s.cluster, vecFile, u1, q); err != nil {
 			return
 		}
-		tf := tmpName(s.Name, fmt.Sprintf("T1_%d", q))
+		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T1_%d", q))
 		t1Files = append(t1Files, tf)
 		if err = hadamardVec(s.cluster, s.Name, m1, int32(q), vecFile, false, tf); err != nil {
 			return
@@ -371,7 +397,7 @@ func (s *Staged) drnHadamards(n int, u1, u2 *matrix.Matrix) (t1Files, t2Files []
 		if err = stageColumn(s.cluster, vecFile, u2, r); err != nil {
 			return
 		}
-		tf := tmpName(s.Name, fmt.Sprintf("T2_%d", r))
+		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T2_%d", r))
 		t2Files = append(t2Files, tf)
 		if err = hadamardVec(s.cluster, s.Name, m2, int32(r), vecFile, true, tf); err != nil {
 			return
@@ -383,18 +409,25 @@ func (s *Staged) drnHadamards(n int, u1, u2 *matrix.Matrix) (t1Files, t2Files []
 // driIMHP stages both factor matrices and runs the single integrated
 // IMHP job, returning the 𝒯′ and 𝒯″ files.
 func (s *Staged) driIMHP(n int, u1, u2 *matrix.Matrix) (t1File, t2File string, extra []string, err error) {
+	tr := s.cluster.Tracer()
 	m1, m2 := otherModes(n)
-	bFile := tmpName(s.Name, "B")
-	cFile := tmpName(s.Name, "C")
+	sf := tr.Begin("stage", "stage-factors")
+	bFile := tmpName(s.cluster, s.Name, "B")
+	cFile := tmpName(s.cluster, s.Name, "C")
 	extra = []string{bFile, cFile}
 	if err = stageMatrix(s.cluster, bFile, u1); err != nil {
+		tr.End(sf)
 		return
 	}
 	if err = stageMatrix(s.cluster, cFile, u2); err != nil {
+		tr.End(sf)
 		return
 	}
-	t1File = tmpName(s.Name, "T1")
-	t2File = tmpName(s.Name, "T2")
+	tr.End(sf)
+	im := tr.Begin("stage", "imhp")
+	defer tr.End(im)
+	t1File = tmpName(s.cluster, s.Name, "T1")
+	t2File = tmpName(s.cluster, s.Name, "T2")
 	err = imhp(s.cluster, s.Name, m1, bFile, m2, cFile, t1File, t2File)
 	return
 }

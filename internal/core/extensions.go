@@ -33,7 +33,7 @@ func NonnegativeParafac(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) 
 		}
 	}
 	opt = opt.withDefaults()
-	s, err := Stage(c, tmpName("nnparafac", "X"), x)
+	s, err := Stage(c, tmpName(c, "nnparafac", "X"), x)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +158,7 @@ func MaskedParafacALS(c *mr.Cluster, x *tensor.Tensor, missing [][3]int64, rank 
 			work.Coalesce()
 		}
 		// M step: one distributed ALS sweep over the completed tensor.
-		s, err := Stage(c, tmpName("maskedparafac", "X"), work)
+		s, err := Stage(c, tmpName(c, "maskedparafac", "X"), work)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRoundTrip checks the binary record codecs on arbitrary
+// bytes: whenever a decoder accepts a prefix of the input, re-encoding
+// the decoded record must reproduce that prefix byte-for-byte (the
+// formats have no redundancy, so decode∘encode is the identity on
+// valid prefixes — including NaN payloads and negative indices), and
+// the remainder must be exactly the unconsumed suffix. The first fuzz
+// argument selects which record type to exercise.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(0), make([]byte, entryBytes))
+	f.Add(uint8(1), make([]byte, matEntryBytes+3))
+	f.Add(uint8(2), make([]byte, hEntryBytes))
+	f.Add(uint8(3), make([]byte, yEntryBytes))
+	f.Add(uint8(4), EncodeTensorFile([]Entry{
+		{Idx: [3]int64{1, 2, 3}, Val: 4.5},
+		{Idx: [3]int64{-1, 0, 9}, Val: -0.0},
+	}))
+	f.Fuzz(func(t *testing.T, kind uint8, data []byte) {
+		check := func(size int, reenc []byte, rest []byte, err error) {
+			if err != nil {
+				if len(data) >= size {
+					t.Fatalf("decoder rejected %d bytes (need %d): %v", len(data), size, err)
+				}
+				return
+			}
+			if len(data) < size {
+				t.Fatalf("decoder accepted %d bytes, needs %d", len(data), size)
+			}
+			if !bytes.Equal(reenc, data[:size]) {
+				t.Fatalf("re-encode mismatch:\n% x\nvs\n% x", reenc, data[:size])
+			}
+			if !bytes.Equal(rest, data[size:]) {
+				t.Fatal("decoder consumed the wrong suffix")
+			}
+		}
+		switch kind % 5 {
+		case 0:
+			e, rest, err := DecodeEntry(data)
+			var reenc []byte
+			if err == nil {
+				reenc = EncodeEntry(nil, e)
+			}
+			check(entryBytes, reenc, rest, err)
+		case 1:
+			m, rest, err := DecodeMatEntry(data)
+			var reenc []byte
+			if err == nil {
+				reenc = EncodeMatEntry(nil, m)
+			}
+			check(matEntryBytes, reenc, rest, err)
+		case 2:
+			h, rest, err := DecodeHEntry(data)
+			var reenc []byte
+			if err == nil {
+				reenc = EncodeHEntry(nil, h)
+			}
+			check(hEntryBytes, reenc, rest, err)
+		case 3:
+			y, rest, err := DecodeYEntry(data)
+			var reenc []byte
+			if err == nil {
+				reenc = EncodeYEntry(nil, y)
+			}
+			check(yEntryBytes, reenc, rest, err)
+		case 4:
+			entries, err := DecodeTensorFile(data)
+			if err != nil {
+				if len(data)%entryBytes == 0 {
+					t.Fatalf("file decoder rejected aligned input: %v", err)
+				}
+				return
+			}
+			if got := EncodeTensorFile(entries); !bytes.Equal(got, data) {
+				t.Fatalf("tensor file round trip changed bytes: %d vs %d", len(got), len(data))
+			}
+		}
+	})
+}

@@ -351,12 +351,12 @@ func (s *StagedN) contractN(n int, factors []*matrix.Matrix, pairwise bool) ([]N
 			// the column (the paper's ranks are ≤ 80).
 			return nil, fmt.Errorf("core: contractN supports at most %d columns per factor, got %d", 1<<16-1, f.Cols)
 		}
-		mf := tmpName(s.Name, fmt.Sprintf("U%d", i))
+		mf := tmpName(s.cluster, s.Name, fmt.Sprintf("U%d", i))
 		if err := stageMatrix(s.cluster, mf, f); err != nil {
 			return nil, err
 		}
 		matFiles = append(matFiles, mf)
-		of := tmpName(s.Name, fmt.Sprintf("T%d", i))
+		of := tmpName(s.cluster, s.Name, fmt.Sprintf("T%d", i))
 		outFiles = append(outFiles, of)
 		tmp = append(tmp, mf, of)
 	}

@@ -26,11 +26,13 @@ func ParafacALSN(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Paraf
 		return nil, fmt.Errorf("core: rank must be positive, got %d", rank)
 	}
 	opt = opt.withDefaults()
-	s, err := StageN(c, tmpName("parafacN", "X"), x)
+	s, err := StageN(c, tmpName(c, "parafacN", "X"), x)
 	if err != nil {
 		return nil, err
 	}
 	defer s.cleanupN([]string{s.Name})
+	tr := c.Tracer()
+	defer tr.End(tr.Begin("run", "parafacN-als/DRI"))
 
 	order := len(s.Dims)
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -45,7 +47,9 @@ func ParafacALSN(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Paraf
 	res := &ParafacResultN{}
 	prevFit := math.Inf(-1)
 	for it := 0; it < opt.MaxIters; it++ {
+		iterSpan := tr.Begin("iter", fmt.Sprintf("iter%02d", it))
 		for n := 0; n < order; n++ {
+			modeSpan := tr.Begin("mode", fmt.Sprintf("mode%d", n))
 			modes := otherModesN(order, n)
 			others := make([]*matrix.Matrix, len(modes))
 			for i, m := range modes {
@@ -80,8 +84,10 @@ func ParafacALSN(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Paraf
 				lambda[r] = nv
 			}
 			factors[n] = a
+			tr.End(modeSpan)
 		}
 		res.Iters = it + 1
+		tr.End(iterSpan)
 		if opt.TrackFit {
 			model := &tensor.Kruskal{Lambda: append([]float64(nil), lambda...), Factors: factors}
 			fit := model.Fit(x)
@@ -118,11 +124,13 @@ func TuckerALSN(c *mr.Cluster, x *tensor.Tensor, core []int, opt Options) (*Tuck
 		}
 	}
 	opt = opt.withDefaults()
-	s, err := StageN(c, tmpName("tuckerN", "X"), x)
+	s, err := StageN(c, tmpName(c, "tuckerN", "X"), x)
 	if err != nil {
 		return nil, err
 	}
 	defer s.cleanupN([]string{s.Name})
+	tr := c.Tracer()
+	defer tr.End(tr.Begin("run", "tuckerN-als/DRI"))
 
 	rng := rand.New(rand.NewSource(opt.Seed))
 	factors := make([]*matrix.Matrix, order)
@@ -135,7 +143,9 @@ func TuckerALSN(c *mr.Cluster, x *tensor.Tensor, core []int, opt Options) (*Tuck
 	var lastY []NYEntry
 	lastModes := otherModesN(order, order-1)
 	for it := 0; it < opt.MaxIters; it++ {
+		iterSpan := tr.Begin("iter", fmt.Sprintf("iter%02d", it))
 		for n := 0; n < order; n++ {
+			modeSpan := tr.Begin("mode", fmt.Sprintf("mode%d", n))
 			modes := otherModesN(order, n)
 			others := make([]*matrix.Matrix, len(modes))
 			cols := 1
@@ -160,6 +170,7 @@ func TuckerALSN(c *mr.Cluster, x *tensor.Tensor, core []int, opt Options) (*Tuck
 			if n == order-1 {
 				lastY = ys
 			}
+			tr.End(modeSpan)
 		}
 		// 𝒢 ← 𝒴 ×_N A⁽ᴺ⁾ᵀ from the final mode's contraction.
 		coreDims := make([]int64, order)
@@ -186,6 +197,7 @@ func TuckerALSN(c *mr.Cluster, x *tensor.Tensor, core []int, opt Options) (*Tuck
 		res.CoreNorms = append(res.CoreNorms, norm)
 		res.Iters = it + 1
 		res.Model = &tensor.TuckerModel{Core: g, Factors: append([]*matrix.Matrix(nil), factors...)}
+		tr.End(iterSpan)
 		if it > 0 && norm-prevNorm < opt.Tol*math.Max(1, prevNorm) {
 			res.Converged = true
 			break

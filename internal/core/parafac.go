@@ -80,7 +80,7 @@ func ParafacALS(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Parafa
 		return nil, fmt.Errorf("core: rank must be positive, got %d", rank)
 	}
 	opt = opt.withDefaults()
-	s, err := Stage(c, tmpName("parafac", "X"), x)
+	s, err := Stage(c, tmpName(c, "parafac", "X"), x)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +91,8 @@ func ParafacALS(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Parafa
 // parafacALSStaged runs ALS against an already-staged tensor. x is the
 // in-memory copy used only for fit evaluation.
 func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*ParafacResult, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("run", "parafac-als/"+opt.Variant.String()))
 	rng := rand.New(rand.NewSource(opt.Seed))
 	factors := make([]*matrix.Matrix, 3)
 	lambda := make([]float64, rank)
@@ -147,6 +149,7 @@ func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*Para
 		}
 	}
 	for it := startIter; it < opt.MaxIters; it++ {
+		iterSpan := tr.Begin("iter", fmt.Sprintf("iter%02d", it))
 		copy(prevLambda, lambda)
 		// Randomness inside the sweep (dead-component reinit) is keyed
 		// to (Seed, it) so a checkpoint-resumed run draws identically.
@@ -186,6 +189,7 @@ func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*Para
 				return nil, err
 			}
 		}
+		tr.End(iterSpan)
 		if converged {
 			res.Converged = true
 			break
@@ -198,7 +202,9 @@ func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*Para
 // parafacSweep performs one outer ALS iteration (all three mode
 // updates, Algorithm 1 lines 3–8) in place on factors and lambda.
 func parafacSweep(s *Staged, factors []*matrix.Matrix, lambda []float64, rng *rand.Rand, variant Variant) error {
+	tr := s.cluster.Tracer()
 	for n := 0; n < 3; n++ {
+		modeSpan := tr.Begin("mode", fmt.Sprintf("mode%d", n))
 		m1, m2 := otherModes(n)
 		// 𝒴 ← 𝒳₍ₙ₎ (A⁽ᵐ²⁾ ⊙ A⁽ᵐ¹⁾) on the cluster.
 		y, err := ParafacContract(s, n, factors[m1], factors[m2], variant)
@@ -223,6 +229,7 @@ func parafacSweep(s *Staged, factors []*matrix.Matrix, lambda []float64, rng *ra
 			lambda[r] = nv
 		}
 		factors[n] = a
+		tr.End(modeSpan)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/haten2/haten2/internal/baseline"
 	"github.com/haten2/haten2/internal/matrix"
 	"github.com/haten2/haten2/internal/mr"
 	"github.com/haten2/haten2/internal/tensor"
@@ -207,6 +208,218 @@ func TestTuckerOnBinaryTensor(t *testing.T) {
 	x.Coalesce()
 	c := testCluster()
 	if _, err := TuckerALS(c, x, [3]int{2, 2, 2}, Options{Variant: DRI, MaxIters: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParafacMatchesBaselineToolbox is the differential sweep
+// against the single-machine reference: the distributed ALS and the
+// in-memory Toolbox start from the same seeded init and run the same
+// algorithm, so after a fixed number of iterations their models must
+// reconstruct the same tensor (summation order differs between the
+// shuffle and the in-memory MTTKRP, hence the tolerance).
+func TestQuickParafacMatchesBaselineToolbox(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [3]int64{3 + rng.Int63n(3), 3 + rng.Int63n(3), 3 + rng.Int63n(3)}
+		x := randomSparse(rng, dims, 6+rng.Intn(15))
+		if x.NNZ() == 0 {
+			return true
+		}
+		rank := 1 + rng.Intn(2)
+		v := Variants[rng.Intn(len(Variants))]
+		opt := Options{Variant: v, MaxIters: 2, Tol: 1e-12, Seed: seed}
+		got, err := ParafacALS(testCluster(), x, rank, opt)
+		if err != nil {
+			t.Logf("distributed: %v", err)
+			return false
+		}
+		tb := baseline.New(baseline.Config{})
+		want, err := tb.ParafacALS(x, rank, baseline.Options{MaxIters: 2, Tol: 1e-12, Seed: seed})
+		if err != nil {
+			t.Logf("baseline: %v", err)
+			return false
+		}
+		if got.Iters != want.Iters {
+			t.Logf("iters %d vs %d", got.Iters, want.Iters)
+			return false
+		}
+		for r := range got.Model.Lambda {
+			if d := math.Abs(got.Model.Lambda[r] - want.Model.Lambda[r]); d > 1e-6*max1(want.Model.Lambda[r]) {
+				t.Logf("lambda[%d]: %g vs %g", r, got.Model.Lambda[r], want.Model.Lambda[r])
+				return false
+			}
+		}
+		return modelsReconstructAlike(got.Model.At, want.Model.At, dims, 1e-6)
+	}
+	if err := quick.Check(f, qcfg(108)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTuckerMatchesBaselineToolbox is the Tucker half of the
+// differential sweep: distributed HOOI against the in-memory MET-style
+// reference, same seed, same iteration budget.
+func TestQuickTuckerMatchesBaselineToolbox(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [3]int64{3 + rng.Int63n(3), 3 + rng.Int63n(3), 3 + rng.Int63n(3)}
+		x := randomSparse(rng, dims, 6+rng.Intn(15))
+		if x.NNZ() == 0 {
+			return true
+		}
+		v := Variants[rng.Intn(len(Variants))]
+		opt := Options{Variant: v, MaxIters: 2, Tol: 1e-12, Seed: seed}
+		got, err := TuckerALS(testCluster(), x, [3]int{2, 2, 2}, opt)
+		if err != nil {
+			t.Logf("distributed: %v", err)
+			return false
+		}
+		tb := baseline.New(baseline.Config{})
+		want, err := tb.TuckerALS(x, [3]int{2, 2, 2}, baseline.Options{MaxIters: 2, Tol: 1e-12, Seed: seed})
+		if err != nil {
+			t.Logf("baseline: %v", err)
+			return false
+		}
+		return modelsReconstructAlike(got.Model.At, want.Model.At, dims, 1e-6)
+	}
+	if err := quick.Check(f, qcfg(109)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// modelsReconstructAlike compares two reconstructions entrywise over
+// the full (small) index space, with an absolute-plus-relative bound.
+func modelsReconstructAlike(got, want func(...int64) float64, dims [3]int64, tol float64) bool {
+	for i := int64(0); i < dims[0]; i++ {
+		for j := int64(0); j < dims[1]; j++ {
+			for k := int64(0); k < dims[2]; k++ {
+				g, w := got(i, j, k), want(i, j, k)
+				if math.Abs(g-w) > tol*max1(math.Abs(w)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// TestQuickParafacScaleEquivariant is a metamorphic check: scaling the
+// tensor by a power of two shifts only floating-point exponents, so the
+// decomposition of α·𝒳 must have bit-identical factors and exactly
+// α-scaled weights — through the full MapReduce pipeline.
+func TestQuickParafacScaleEquivariant(t *testing.T) {
+	const alpha = 4.0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [3]int64{3 + rng.Int63n(3), 3 + rng.Int63n(3), 3 + rng.Int63n(3)}
+		x := randomSparse(rng, dims, 6+rng.Intn(15))
+		if x.NNZ() == 0 {
+			return true
+		}
+		xs := x.Clone()
+		for p := 0; p < xs.NNZ(); p++ {
+			xs.SetValue(p, xs.Value(p)*alpha)
+		}
+		v := Variants[rng.Intn(len(Variants))]
+		opt := Options{Variant: v, MaxIters: 2, Tol: 1e-12, Seed: seed}
+		rank := 1 + rng.Intn(2)
+		base, err := ParafacALS(testCluster(), x, rank, opt)
+		if err != nil {
+			return false
+		}
+		scaled, err := ParafacALS(testCluster(), xs, rank, opt)
+		if err != nil {
+			return false
+		}
+		for r := range base.Model.Lambda {
+			if scaled.Model.Lambda[r] != alpha*base.Model.Lambda[r] {
+				t.Logf("lambda[%d]: %g vs %g·%g", r, scaled.Model.Lambda[r], alpha, base.Model.Lambda[r])
+				return false
+			}
+		}
+		for m := range base.Model.Factors {
+			fb, fs := base.Model.Factors[m], scaled.Model.Factors[m]
+			for i := range fb.Data {
+				if math.Float64bits(fb.Data[i]) != math.Float64bits(fs.Data[i]) {
+					t.Logf("factor %d entry %d: %x vs %x", m, i,
+						math.Float64bits(fb.Data[i]), math.Float64bits(fs.Data[i]))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(110)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParafacModePermutationEquivariant is the second metamorphic
+// check: relabeling the mode-0 indices by a permutation must permute
+// the mode-0 factor rows and leave the other factors and the weights
+// unchanged. The first full ALS sweep overwrites every factor, so after
+// it the result owes nothing to the (unpermuted) mode-0 init; summation
+// order inside reduce groups does change, hence the tolerance.
+func TestQuickParafacModePermutationEquivariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d0 := 3 + rng.Int63n(3)
+		dims := [3]int64{d0, 3 + rng.Int63n(3), 3 + rng.Int63n(3)}
+		x := randomSparse(rng, dims, 6+rng.Intn(15))
+		if x.NNZ() == 0 {
+			return true
+		}
+		perm := rng.Perm(int(d0))
+		xp := tensor.New(dims[0], dims[1], dims[2])
+		for p := 0; p < x.NNZ(); p++ {
+			idx := x.Index(p)
+			xp.Append(x.Value(p), int64(perm[idx[0]]), idx[1], idx[2])
+		}
+		xp.Coalesce()
+		v := Variants[rng.Intn(len(Variants))]
+		opt := Options{Variant: v, MaxIters: 2, Tol: 1e-12, Seed: seed}
+		rank := 1 + rng.Intn(2)
+		base, err := ParafacALS(testCluster(), x, rank, opt)
+		if err != nil {
+			return false
+		}
+		permuted, err := ParafacALS(testCluster(), xp, rank, opt)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-6
+		for r := range base.Model.Lambda {
+			if math.Abs(permuted.Model.Lambda[r]-base.Model.Lambda[r]) > tol*max1(base.Model.Lambda[r]) {
+				return false
+			}
+		}
+		a0, a0p := base.Model.Factors[0], permuted.Model.Factors[0]
+		for i := 0; i < a0.Rows; i++ {
+			for c := 0; c < a0.Cols; c++ {
+				if math.Abs(a0p.At(perm[i], c)-a0.At(i, c)) > tol {
+					return false
+				}
+			}
+		}
+		for m := 1; m < 3; m++ {
+			fb, fp := base.Model.Factors[m], permuted.Model.Factors[m]
+			for i := range fb.Data {
+				if math.Abs(fp.Data[i]-fb.Data[i]) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(111)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -40,7 +40,7 @@ func TuckerALS(c *mr.Cluster, x *tensor.Tensor, core [3]int, opt Options) (*Tuck
 		}
 	}
 	opt = opt.withDefaults()
-	s, err := Stage(c, tmpName("tucker", "X"), x)
+	s, err := Stage(c, tmpName(c, "tucker", "X"), x)
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +49,8 @@ func TuckerALS(c *mr.Cluster, x *tensor.Tensor, core [3]int, opt Options) (*Tuck
 }
 
 func tuckerALSStaged(s *Staged, x *tensor.Tensor, core [3]int, opt Options) (*TuckerResult, error) {
+	tr := s.cluster.Tracer()
+	defer tr.End(tr.Begin("run", "tucker-als/"+opt.Variant.String()))
 	rng := rand.New(rand.NewSource(opt.Seed))
 	// Initialize all factors as random orthonormal frames (Algorithm 2
 	// initializes B and C; mode-0 is overwritten by the first update).
@@ -89,7 +91,9 @@ func tuckerALSStaged(s *Staged, x *tensor.Tensor, core [3]int, opt Options) (*Tu
 		}
 	}
 	for it := startIter; it < opt.MaxIters; it++ {
+		iterSpan := tr.Begin("iter", fmt.Sprintf("iter%02d", it))
 		for n := 0; n < 3; n++ {
+			modeSpan := tr.Begin("mode", fmt.Sprintf("mode%d", n))
 			m1, m2 := otherModes(n)
 			ys, err := TuckerContract(s, n, factors[m1], factors[m2], opt.Variant)
 			if err != nil {
@@ -106,6 +110,7 @@ func tuckerALSStaged(s *Staged, x *tensor.Tensor, core [3]int, opt Options) (*Tu
 			if n == 2 {
 				lastY = ys
 			}
+			tr.End(modeSpan)
 		}
 		// 𝒢 ← 𝒴 ×₃ Cᵀ (Algorithm 2 line 9): the last contraction built
 		// 𝒴 = 𝒳 ×₁Aᵀ ×₂Bᵀ with entries (k, p, q); contract mode 3
@@ -139,6 +144,7 @@ func tuckerALSStaged(s *Staged, x *tensor.Tensor, core [3]int, opt Options) (*Tu
 				return nil, err
 			}
 		}
+		tr.End(iterSpan)
 		if converged {
 			res.Converged = true
 			break

@@ -11,16 +11,16 @@ import (
 // buffer that is acquired but never returned silently degrades the
 // pools back to plain allocation — thousands of ALS jobs then rebuild
 // their bucket and group storage from scratch and the reuse PR 1 bought
-// evaporates without any test failing. The check applies to the mr
-// package only (the pools' home) and is flow-insensitive: a value bound
-// from a pool acquisition (getSlice, getGroupArena, getCombineScratch,
-// or a raw sync.Pool Get) must, somewhere in the same outermost function,
-// be passed to the matching return call, be returned to the caller, or
-// escape into another location (whose owner then carries the
-// obligation).
+// evaporates without any test failing. The check applies to the
+// packages that own pools (mr, and obs's exporter buffers) and is
+// flow-insensitive: a value bound from a pool acquisition (getSlice,
+// getGroupArena, getCombineScratch, getBuf, or a raw sync.Pool Get)
+// must, somewhere in the same outermost function, be passed to the
+// matching return call, be returned to the caller, or escape into
+// another location (whose owner then carries the obligation).
 var PoolReturn = &Analyzer{
 	Name: "poolreturn",
-	Doc:  "every pool acquisition in internal/mr has a matching return",
+	Doc:  "every pool acquisition in internal/mr and internal/obs has a matching return",
 	Run:  runPoolReturn,
 }
 
@@ -31,10 +31,14 @@ var poolKinds = map[string]string{
 	"getMap":            "putMap",
 	"getGroupArena":     "putGroupArena",
 	"getCombineScratch": "putCombineScratch",
+	"getBuf":            "putBuf",
 }
 
+// poolPackages are the package names holding pooled buffers.
+var poolPackages = map[string]bool{"mr": true, "obs": true}
+
 func runPoolReturn(p *Pass) {
-	if p.Pkg.Pkg.Name() != "mr" {
+	if !poolPackages[p.Pkg.Pkg.Name()] {
 		return
 	}
 	for _, file := range p.Pkg.Files {

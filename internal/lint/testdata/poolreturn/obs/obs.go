@@ -1,0 +1,43 @@
+// Fixture mirroring internal/obs's pooled exporter buffers: the
+// poolreturn analyzer also covers the obs package, where getBuf must be
+// paired with putBuf.
+package obs
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func getBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
+// flaggedLeak acquires a pooled buffer, only reads it, and forgets to
+// return it.
+func flaggedLeak() int {
+	buf := getBuf() // want "pooled buffer buf is acquired but never returned with putBuf"
+	n := cap(*buf)
+	return n
+}
+
+// cleanExport is the WriteChromeTrace shape: acquire, render, release.
+func cleanExport(spans []string) int {
+	buf := getBuf()
+	for _, s := range spans {
+		*buf = append(*buf, s...)
+	}
+	n := len(*buf)
+	putBuf(buf)
+	return n
+}
+
+// cleanEscape hands the buffer to the caller, transferring the
+// release obligation.
+func cleanEscape() *[]byte {
+	buf := getBuf()
+	*buf = append(*buf, '[')
+	return buf
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/haten2/haten2/internal/gen"
 	"github.com/haten2/haten2/internal/matrix"
 	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/obs"
 )
 
 // benchCluster is sized so the engine has ample task-level parallelism
@@ -106,6 +107,57 @@ func BenchmarkEngineShuffle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mr.Run(c, job); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineShuffleTraced is BenchmarkEngineShuffle with a tracer
+// attached, measuring the cost of span recording on the engine's hot
+// path. The acceptance criterion runs the other way: compare this
+// against BenchmarkEngineShuffle to see the tracing cost, and compare
+// BenchmarkEngineShuffle against the pre-tracing baseline to confirm
+// the nil-tracer path (one pointer check per job under the stats lock)
+// costs < 2%:
+//
+//	go test -run - -bench EngineShuffle -count 10 ./internal/mr
+func BenchmarkEngineShuffleTraced(b *testing.B) {
+	const records = 250_000
+	c := benchCluster()
+	c.SetTracer(obs.NewTracer())
+	items := make([]int64, records)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	if err := mr.WriteFile(c, "in", items, func(int64) int64 { return 8 }); err != nil {
+		b.Fatal(err)
+	}
+	job := mr.Job[int64, int64, int64]{
+		Name: "shuffle-bench-traced",
+		Inputs: []mr.Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) {
+			v := r.(int64)
+			for j := int64(0); j < 4; j++ {
+				emit((v*4+j)%65536, v)
+			}
+		}}},
+		Reduce: func(k int64, vs []int64, emit func(int64)) {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			emit(s)
+		},
+		Partition: mr.HashInt64,
+	}
+	b.SetBytes(records * 4 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mr.Run(c, job); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			// Keep the span log from growing without bound across b.N.
+			c.Tracer().Reset()
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"github.com/haten2/haten2/internal/dfs"
+	"github.com/haten2/haten2/internal/obs"
 )
 
 // CostModel holds the calibrated constants of the simulated-time model.
@@ -198,6 +199,15 @@ type Cluster struct {
 	// coordinate every fault decision is keyed by.
 	faults *FaultPlan
 	jobSeq int64
+	// tracer, when non-nil, receives a "job" span with phase children
+	// for every job this cluster records (see trace.go).
+	tracer *obs.Tracer
+	// tmpSeq numbers the temporary file names handed out by NextTmp.
+	// Scoping the counter to the cluster (rather than a process global)
+	// makes the file names — and therefore job names and traces — of a
+	// run on a fresh cluster reproducible regardless of what ran before
+	// it in the same process.
+	tmpSeq int64
 }
 
 // shuffleHint carries sizing statistics from a completed job to the
@@ -268,6 +278,34 @@ func (c *Cluster) startJob(name string) (*FaultPlan, int64, error) {
 		return nil, seq, &ErrClusterKilled{Job: name, AfterJobs: p.KillAfterJobs}
 	}
 	return p, seq, nil
+}
+
+// SetTracer attaches a tracer to the cluster (nil detaches). Every job
+// recorded from then on emits a "job" span with map/shuffle/reduce
+// (and, under faults, recovery) phase children stamped with the cost
+// model's simulated time.
+func (c *Cluster) SetTracer(tr *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = tr
+}
+
+// Tracer returns the attached tracer, or nil. Drivers use it to open
+// their own run/iteration/stage spans around the jobs they submit; the
+// obs methods are nil-safe, so callers need no nil check of their own.
+func (c *Cluster) Tracer() *obs.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
+}
+
+// NextTmp returns the next cluster-scoped temporary-file sequence
+// number, starting at 1.
+func (c *Cluster) NextTmp() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tmpSeq++
+	return c.tmpSeq
 }
 
 // FS returns the cluster's distributed file system.
@@ -353,4 +391,7 @@ func (c *Cluster) record(st JobStats) {
 	t.WastedBytes += st.WastedBytes
 	t.PenaltySeconds += st.PenaltySeconds
 	t.SimSeconds += st.SimSeconds
+	if c.tracer != nil {
+		c.traceJob(st)
+	}
 }

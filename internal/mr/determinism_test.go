@@ -1,11 +1,14 @@
 package mr
 
 import (
+	"bytes"
 	"errors"
 	"reflect"
 	"runtime"
 	"sync"
 	"testing"
+
+	"github.com/haten2/haten2/internal/obs"
 )
 
 // TestExhaustionStatsDeterministic pins the deterministic
@@ -319,6 +322,67 @@ func TestFaultDeterminismAcrossProcs(t *testing.T) {
 			if got.totals != want.totals {
 				t.Fatalf("GOMAXPROCS=%d rep %d: totals differ:\n%+v\nvs\n%+v",
 					procs, rep, got.totals, want.totals)
+			}
+		}
+	}
+}
+
+// TestTraceBytesDeterministicAcrossProcs runs the same faulty job
+// chain with a tracer attached at GOMAXPROCS ∈ {1, 4, 16} and requires
+// the exported Chrome trace to be byte-identical — span order, integer
+// microsecond timestamps, phase durations, and every recovery counter.
+// This is the engine-level half of the golden-trace guarantee (the
+// ALS-level half lives in internal/obs).
+func TestTraceBytesDeterministicAcrossProcs(t *testing.T) {
+	run := func(procs int) []byte {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		cost := DefaultCostModel()
+		cost.SpeculativeDelay = 1e-9
+		c := NewCluster(Config{Machines: 8, SlotsPerMachine: 2, Cost: cost})
+		tr := obs.NewTracer()
+		c.SetTracer(tr)
+		items := make([]int64, 96)
+		for i := range items {
+			items[i] = int64(i)
+		}
+		if err := WriteFile(c, "in", items, func(int64) int64 { return 8 }); err != nil {
+			t.Fatal(err)
+		}
+		c.InstallFaultPlan(&FaultPlan{Seed: 7, FailureRate: 0.2, StragglerRate: 0.1, MaxAttempts: 32})
+		job := Job[int64, int64, int64]{
+			Name: "traced",
+			Inputs: []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) {
+				emit(r.(int64)%32, 1)
+			}}},
+			Reduce: func(k int64, vs []int64, emit func(int64)) {
+				var s int64
+				for _, v := range vs {
+					s += v
+				}
+				emit(s)
+			},
+			Partition: HashInt64,
+		}
+		for rep := 0; rep < 3; rep++ {
+			if _, _, err := Run(c, job); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := run(1)
+	if !bytes.Contains(want, []byte(`"recover"`)) {
+		t.Fatal("plan injected no recovery phases; the test would not cover them")
+	}
+	for _, procs := range []int{1, 4, 16} {
+		for rep := 0; rep < 3; rep++ {
+			if got := run(procs); !bytes.Equal(got, want) {
+				t.Fatalf("GOMAXPROCS=%d rep %d: trace bytes differ (%d vs %d bytes)",
+					procs, rep, len(got), len(want))
 			}
 		}
 	}

@@ -1,0 +1,71 @@
+package mr
+
+import "github.com/haten2/haten2/internal/obs"
+
+// traceJob emits one "job" span with phase children for a finished
+// (or failed) job. Called from record with c.mu held and c.tracer
+// non-nil, so it reads fields directly.
+//
+// The phase durations re-partition the cost model's terms by the
+// Hadoop phase that incurs them:
+//
+//	map     = JobStartup + InputRecords·PerMapRecord/m + InputBytes·PerDFSByte/m
+//	shuffle = ShuffleBytes·PerShuffleByte/m
+//	reduce  = ShuffleRecords·PerReduceRecord/m + OutputBytes·PerDFSByte/m + Coord·m
+//	recover = PenaltySeconds (retry backoff, re-execution, straggler lag)
+//
+// so the phases sum to the job's SimSeconds and the job span's
+// duration — set by End from the simulated clock its children advanced
+// — equals the sum of its phases by construction. Every quantity is
+// derived from the deterministic JobStats counters, never from the
+// wall clock, which is what keeps traces byte-identical across runs
+// and GOMAXPROCS settings.
+func (c *Cluster) traceJob(st JobStats) {
+	tr := c.tracer
+	cost := c.cfg.Cost
+	m := float64(c.cfg.Machines)
+	job := tr.Begin("job", st.Name)
+	tr.Emit("phase", "map",
+		cost.JobStartup+
+			float64(st.InputRecords)*cost.PerMapRecord/m+
+			float64(st.InputBytes)*cost.PerDFSByte/m,
+		obs.Counter{Key: "tasks", Val: int64(st.MapTasks)},
+		obs.Counter{Key: "attempts", Val: int64(st.MapAttempts)},
+		obs.Counter{Key: "input.records", Val: st.InputRecords},
+		obs.Counter{Key: "input.bytes", Val: st.InputBytes},
+	)
+	tr.Emit("phase", "shuffle",
+		float64(st.ShuffleBytes)*cost.PerShuffleByte/m,
+		obs.Counter{Key: "shuffle.records", Val: st.ShuffleRecords},
+		obs.Counter{Key: "shuffle.bytes", Val: st.ShuffleBytes},
+	)
+	tr.Emit("phase", "reduce",
+		float64(st.ShuffleRecords)*cost.PerReduceRecord/m+
+			float64(st.OutputBytes)*cost.PerDFSByte/m+
+			cost.CoordPerMachine*m,
+		obs.Counter{Key: "tasks", Val: int64(st.ReduceTasks)},
+		obs.Counter{Key: "attempts", Val: int64(st.ReduceAttempts)},
+		obs.Counter{Key: "output.records", Val: st.OutputRecords},
+		obs.Counter{Key: "output.bytes", Val: st.OutputBytes},
+	)
+	if st.PenaltySeconds > 0 || st.TaskRetries > 0 || st.SpeculativeTasks > 0 {
+		tr.Emit("phase", "recover", st.PenaltySeconds,
+			obs.Counter{Key: "retries", Val: int64(st.TaskRetries)},
+			obs.Counter{Key: "spec.tasks", Val: int64(st.SpeculativeTasks)},
+			obs.Counter{Key: "spec.wins", Val: int64(st.SpeculativeWins)},
+			obs.Counter{Key: "waste.records", Val: st.WastedRecords},
+			obs.Counter{Key: "waste.bytes", Val: st.WastedBytes},
+			obs.Counter{Key: "blacklisted", Val: int64(st.BlacklistedMachines)},
+		)
+	}
+	tr.End(job,
+		obs.Counter{Key: "input.records", Val: st.InputRecords},
+		obs.Counter{Key: "input.bytes", Val: st.InputBytes},
+		obs.Counter{Key: "shuffle.records", Val: st.ShuffleRecords},
+		obs.Counter{Key: "shuffle.bytes", Val: st.ShuffleBytes},
+		obs.Counter{Key: "output.records", Val: st.OutputRecords},
+		obs.Counter{Key: "output.bytes", Val: st.OutputBytes},
+		obs.Counter{Key: "retries", Val: int64(st.TaskRetries)},
+		obs.Counter{Key: "waste.records", Val: st.WastedRecords},
+	)
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// summaryRow aggregates the job spans sharing one job name.
+type summaryRow struct {
+	name    string
+	jobs    int64
+	sim     float64
+	shufRec int64
+	shufMB  float64
+	inMB    float64
+	outMB   float64
+	retries int64
+	waste   int64
+}
+
+// WriteSummary writes the compact plan-summary table: one row per
+// distinct job name in first-seen order (which, for an ALS run, reads
+// as the plan: stage, contract, merge, repeated per mode and
+// iteration), aggregated over every execution of that job, plus a
+// totals row. Counter keys are the ones the engine attaches to its
+// "job" spans (see internal/mr).
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	rows := []*summaryRow{}
+	index := map[string]*summaryRow{}
+	total := &summaryRow{name: "total"}
+	nameW := len("job")
+	for _, s := range t.Spans() {
+		if s.Kind != "job" {
+			continue
+		}
+		r := index[s.Name]
+		if r == nil {
+			r = &summaryRow{name: s.Name}
+			index[s.Name] = r
+			rows = append(rows, r)
+			if len(s.Name) > nameW {
+				nameW = len(s.Name)
+			}
+		}
+		for _, dst := range [2]*summaryRow{r, total} {
+			dst.jobs++
+			dst.sim += s.Dur
+			dst.shufRec += counter(s, "shuffle.records")
+			dst.shufMB += float64(counter(s, "shuffle.bytes")) / (1 << 20)
+			dst.inMB += float64(counter(s, "input.bytes")) / (1 << 20)
+			dst.outMB += float64(counter(s, "output.bytes")) / (1 << 20)
+			dst.retries += counter(s, "retries")
+			dst.waste += counter(s, "waste.records")
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %5s  %10s  %12s  %9s  %9s  %9s  %7s  %10s\n",
+		nameW, "job", "jobs", "sim(s)", "shuf.recs", "shuf.MB", "in.MB", "out.MB", "retries", "waste.recs"); err != nil {
+		return err
+	}
+	for _, r := range append(rows, total) {
+		if _, err := fmt.Fprintf(w, "%-*s  %5d  %10.2f  %12d  %9.2f  %9.2f  %9.2f  %7d  %10d\n",
+			nameW, r.name, r.jobs, r.sim, r.shufRec, r.shufMB, r.inMB, r.outMB, r.retries, r.waste); err != nil {
+			return err
+		}
+	}
+	return nil
+}
