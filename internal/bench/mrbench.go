@@ -35,9 +35,11 @@ func MRBench(cfg Config) (*Report, error) {
 	other := [3][2]int{{1, 2}, {0, 2}, {0, 1}}
 
 	type outcome struct {
-		wall time.Duration
-		sim  float64
-		jobs []mr.JobStats
+		wall    time.Duration
+		sim     float64
+		allocs  uint64
+		shuffle int64
+		jobs    []mr.JobStats
 	}
 	run := func(procs int) (outcome, error) {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
@@ -70,11 +72,14 @@ func MRBench(cfg Config) (*Report, error) {
 			return outcome{}, err
 		}
 		c.ResetCounters()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		if err := iteration(); err != nil {
 			return outcome{}, err
 		}
 		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
 		jobs := c.Jobs()
 		// Staged factor files get fresh temp names each iteration
 		// (embedded in some job names); blank them so the comparison
@@ -82,7 +87,13 @@ func MRBench(cfg Config) (*Report, error) {
 		for i := range jobs {
 			jobs[i].Name = ""
 		}
-		return outcome{wall: wall, sim: c.Totals().SimSeconds, jobs: jobs}, nil
+		return outcome{
+			wall:    wall,
+			sim:     c.Totals().SimSeconds,
+			allocs:  ms1.Mallocs - ms0.Mallocs,
+			shuffle: c.Totals().ShuffleBytes,
+			jobs:    jobs,
+		}, nil
 	}
 
 	procs := procSweep()
@@ -90,7 +101,7 @@ func MRBench(cfg Config) (*Report, error) {
 		ID:    "mr",
 		Title: fmt.Sprintf("engine wall-clock, one PARAFAC-DRI iteration (%s nnz, rank %d)", gen.Human(int64(nnz)), rank),
 		Headers: []string{
-			"GOMAXPROCS", "wall", "speedup", "sim-time", "counters",
+			"GOMAXPROCS", "wall", "speedup", "allocs/op", "shuffle-bytes", "sim-time", "counters",
 		},
 	}
 	var base outcome
@@ -112,6 +123,8 @@ func MRBench(cfg Config) (*Report, error) {
 			count(p),
 			fmt.Sprintf("%.3fs", out.wall.Seconds()),
 			fmt.Sprintf("%.2fx", base.wall.Seconds()/out.wall.Seconds()),
+			count(int(out.allocs)),
+			count(int(out.shuffle)),
 			seconds(out.sim),
 			det,
 		})

@@ -495,13 +495,11 @@ func CombinerAblation(cfg Config) (*Report, error) {
 		}
 		job := mr.Job[[3]int64, float64, float64]{
 			Name: "collapse-like",
-			Inputs: []mr.Input[[3]int64, float64]{{
-				File: "H",
-				Map: func(r any, emit func([3]int64, float64)) {
-					e := r.(rec)
+			Inputs: []mr.Input[[3]int64, float64]{
+				mr.MapInput("H", func(e rec, emit func([3]int64, float64)) {
 					emit([3]int64{e.I, e.K, int64(e.Col)}, e.Val)
-				},
-			}},
+				}),
+			},
 			Reduce: func(k [3]int64, vs []float64, emit func(float64)) {
 				var s float64
 				for _, v := range vs {

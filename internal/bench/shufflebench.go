@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/haten2/haten2/internal/core"
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+)
+
+// ShuffleBench compares the two shuffle wire formats — the fixed-width
+// per-record codec the repo used before shuffle v2 and the columnar
+// varint-delta block codec — on one full PARAFAC-DRI iteration. The
+// experiment behind BENCH_shuffle.json verifies the codec switch's
+// whole contract in one table: identical record counts, strictly fewer
+// bytes under columnar, and bit-identical numerical output.
+func ShuffleBench(cfg Config) (*Report, error) {
+	dim, nnz := int64(200), 200_000
+	if cfg.Full {
+		dim, nnz = 300, 1_000_000
+	}
+	const rank = 4
+	x := gen.Random(cfg.Seed, [3]int64{dim, dim, dim}, nnz)
+	other := [3][2]int{{1, 2}, {0, 2}, {0, 1}}
+
+	type outcome struct {
+		wall    time.Duration
+		records int64
+		bytes   int64
+		results [3]*matrix.Matrix
+	}
+	run := func(codec core.Codec) (outcome, error) {
+		c := mr.NewCluster(mr.Config{Machines: 8, SlotsPerMachine: 4})
+		c.SetTracer(cfg.Tracer)
+		s, err := core.Stage(c, "X", x)
+		if err != nil {
+			return outcome{}, err
+		}
+		s.SetCodec(codec)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var factors [3]*matrix.Matrix
+		for m := 0; m < 3; m++ {
+			factors[m] = matrix.Random(int(dim), rank, rng)
+		}
+		c.ResetCounters()
+		var out outcome
+		start := time.Now()
+		for n := 0; n < 3; n++ {
+			o := other[n]
+			y, err := core.ParafacContract(s, n, factors[o[0]], factors[o[1]], core.DRI)
+			if err != nil {
+				return outcome{}, err
+			}
+			out.results[n] = y
+		}
+		out.wall = time.Since(start)
+		t := c.Totals()
+		out.records, out.bytes = t.ShuffleRecords, t.ShuffleBytes
+		return out, nil
+	}
+
+	fixed, err := run(core.CodecFixed)
+	if err != nil {
+		return nil, err
+	}
+	columnar, err := run(core.CodecColumnar)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID: "shuffle",
+		Title: fmt.Sprintf("shuffle wire formats, one PARAFAC-DRI iteration (%s nnz, rank %d)",
+			gen.Human(int64(nnz)), rank),
+		Headers: []string{"codec", "shuffle-records", "shuffle-bytes", "bytes/record", "vs fixed", "wall"},
+	}
+	row := func(name string, o outcome) []string {
+		return []string{
+			name,
+			count(int(o.records)),
+			count(int(o.bytes)),
+			fmt.Sprintf("%.2f", float64(o.bytes)/float64(o.records)),
+			fmt.Sprintf("%.1f%%", 100*float64(o.bytes)/float64(fixed.bytes)),
+			fmt.Sprintf("%.3fs", o.wall.Seconds()),
+		}
+	}
+	rep.Rows = append(rep.Rows, row("fixed", fixed), row("columnar", columnar))
+
+	if columnar.records != fixed.records {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"CODEC VIOLATION: record counts differ (fixed %d, columnar %d) — accounting leaked into the plan",
+			fixed.records, columnar.records))
+	}
+	if columnar.bytes >= fixed.bytes {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"CODEC VIOLATION: columnar shuffle bytes %d not strictly below fixed %d",
+			columnar.bytes, fixed.bytes))
+	} else {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"columnar moves %.1f%% fewer shuffle bytes on identical record counts",
+			100*(1-float64(columnar.bytes)/float64(fixed.bytes))))
+	}
+	identical := true
+	for n := 0; n < 3 && identical; n++ {
+		a, b := fixed.results[n], columnar.results[n]
+		if a.Rows != b.Rows || a.Cols != b.Cols {
+			identical = false
+			break
+		}
+		for i := range a.Data {
+			if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+				identical = false
+				break
+			}
+		}
+	}
+	if identical {
+		rep.Notes = append(rep.Notes, "contraction outputs are bit-identical under both codecs")
+	} else {
+		rep.Notes = append(rep.Notes, "CODEC VIOLATION: contraction outputs differ between codecs")
+	}
+	return rep, nil
+}

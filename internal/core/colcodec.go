@@ -1,0 +1,467 @@
+package core
+
+// Columnar block encodings — the shuffle-v2 wire format. Where codec.go
+// encodes records one at a time at fixed width, this codec encodes a
+// whole block (a DFS file, or one map task's per-reducer shuffle
+// partition) as contiguous columns:
+//
+//	block   := uvarint(count) || column …
+//	indexes := zigzag-varint delta per record, one column per index
+//	           coordinate (delta against the previous record in the
+//	           same column; the first record deltas against zero)
+//	tags    := one raw byte per record (provenance / side columns)
+//	cols    := zigzag-varint delta per record (factor column indexes)
+//	values  := 8-byte little-endian IEEE-754 float64 per record
+//
+// Tensor files are coalesced (sorted lexicographically by coordinate),
+// so index columns are non-decreasing and the deltas are tiny — most
+// encode in one byte instead of eight. Delta encoding stays *correct*
+// on unsorted sequences (shuffle partitions arrive in emission order):
+// it merely compresses less when locality is poor, and the engine
+// charges whatever the real encoding costs.
+//
+// The fixed-width codec in codec.go remains the documented fallback
+// (select it with Options.Codec = CodecFixed); its per-record size
+// constants still back the DFS accounting in records.go.
+//
+// Every encoder here has a matching incremental sizer with the
+// invariant len(Append*Block(nil, recs)) == blockHeaderSize(n) +
+// Σ pair/record sizes — the colcodec tests and FuzzColumnarRoundTrip
+// pin both directions, and the mr engine charges shuffle bytes through
+// the sizers (mr.BlockSizer), so the cost model can never drift from
+// the declared wire format.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/haten2/haten2/internal/mr"
+)
+
+// Codec selects the wire format jobs use for shuffle accounting.
+type Codec uint8
+
+const (
+	// CodecColumnar is the default: varint-delta column blocks.
+	CodecColumnar Codec = iota
+	// CodecFixed is the fixed-width per-record fallback of codec.go.
+	CodecFixed
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecColumnar:
+		return "columnar"
+	case CodecFixed:
+		return "fixed"
+	}
+	return fmt.Sprintf("Codec(%d)", uint8(c))
+}
+
+// zigzag maps a signed delta to an unsigned varint-friendly value
+// (0→0, -1→1, 1→2, …), so small negative deltas stay small.
+func zigzag(d int64) uint64 {
+	return uint64(d<<1) ^ uint64(d>>63)
+}
+
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// varintLen is the encoded length of x as a uvarint (1..10 bytes).
+func varintLen(x uint64) int64 {
+	return int64((bits.Len64(x|1) + 6) / 7)
+}
+
+// blockHeaderSize is the header charge for a block of n records: the
+// record-count uvarint.
+func blockHeaderSize(n int) int64 {
+	return varintLen(uint64(n))
+}
+
+// readUvarint decodes one uvarint with explicit error reporting. The
+// decoders are strict: an over-long (non-canonical) encoding is
+// rejected, which keeps decode ∘ encode the identity on every accepted
+// block — the property FuzzColumnarRoundTrip pins and the cost model's
+// sizers assume.
+func readUvarint(src []byte) (uint64, []byte, error) {
+	u, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, src, fmt.Errorf("core: bad uvarint in columnar block")
+	}
+	if int64(n) != varintLen(u) {
+		return 0, src, fmt.Errorf("core: non-canonical uvarint in columnar block")
+	}
+	return u, src[n:], nil
+}
+
+// readCount reads a block's record-count header. Counts are bounded by
+// the remaining input (every record costs at least one byte per
+// column), which also rejects counts that would overflow int.
+func readCount(src []byte) (int, []byte, error) {
+	count, rest, err := readUvarint(src)
+	if err != nil {
+		return 0, src, err
+	}
+	if count > uint64(len(rest)) {
+		return 0, src, fmt.Errorf("core: short columnar block: %d records in %d bytes", count, len(rest))
+	}
+	return int(count), rest, nil
+}
+
+// int32Checked narrows a decoded column value, surfacing the first
+// out-of-range value through errp (a strict decoder cannot truncate:
+// the truncated value would re-encode to different bytes).
+func int32Checked(v int64, errp *error) int32 {
+	if (v > math.MaxInt32 || v < math.MinInt32) && *errp == nil {
+		*errp = fmt.Errorf("core: column index %d out of int32 range", v)
+	}
+	return int32(v)
+}
+
+// appendDeltaColumn writes one zigzag-delta index column; get returns
+// record i's value for this column.
+func appendDeltaColumn(dst []byte, n int, get func(i int) int64) []byte {
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		v := get(i)
+		dst = binary.AppendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+// decodeDeltaColumn reads one zigzag-delta column, handing record i's
+// value to set.
+func decodeDeltaColumn(src []byte, n int, set func(i int, v int64)) ([]byte, error) {
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		u, rest, err := readUvarint(src)
+		if err != nil {
+			return src, err
+		}
+		src = rest
+		prev += unzigzag(u)
+		set(i, prev)
+	}
+	return src, nil
+}
+
+// --- Entry blocks (tensor files) --------------------------------------
+
+// AppendEntryBlock appends the columnar encoding of entries to dst:
+// three delta-encoded index columns followed by the value column. Its
+// length is exactly EntryBlockSize(entries).
+func AppendEntryBlock(dst []byte, entries []Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for m := 0; m < 3; m++ {
+		dst = appendDeltaColumn(dst, len(entries), func(i int) int64 { return entries[i].Idx[m] })
+	}
+	for _, e := range entries {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Val))
+	}
+	return dst
+}
+
+// DecodeEntryBlock parses one block written by AppendEntryBlock,
+// returning the decoded entries and any trailing bytes.
+func DecodeEntryBlock(src []byte) ([]Entry, []byte, error) {
+	n, src, err := readCount(src)
+	if err != nil {
+		return nil, src, err
+	}
+	out := make([]Entry, n)
+	for m := 0; m < 3; m++ {
+		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { out[i].Idx[m] = v })
+		if err != nil {
+			return nil, src, err
+		}
+	}
+	if len(src) < n*8 {
+		return nil, src, fmt.Errorf("core: short Entry block value column: %d bytes for %d records", len(src), n)
+	}
+	for i := range out {
+		out[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return out, src[n*8:], nil
+}
+
+// entryDeltaSize is the incremental size of e appended after prev
+// (zero Entry for the block's first record).
+func entryDeltaSize(prev, e Entry) int64 {
+	return varintLen(zigzag(e.Idx[0]-prev.Idx[0])) +
+		varintLen(zigzag(e.Idx[1]-prev.Idx[1])) +
+		varintLen(zigzag(e.Idx[2]-prev.Idx[2])) + 8
+}
+
+// EntryBlockSize is the exact encoded size of AppendEntryBlock(nil,
+// entries), computed incrementally without encoding.
+func EntryBlockSize(entries []Entry) int64 {
+	n := blockHeaderSize(len(entries))
+	var prev Entry
+	for _, e := range entries {
+		n += entryDeltaSize(prev, e)
+		prev = e
+	}
+	return n
+}
+
+// --- MatEntry blocks (factor matrices) --------------------------------
+
+// AppendMatEntryBlock appends the columnar encoding of cells: row and
+// col delta columns, then values. Length is MatEntryBlockSize(cells).
+func AppendMatEntryBlock(dst []byte, cells []MatEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(cells)))
+	dst = appendDeltaColumn(dst, len(cells), func(i int) int64 { return cells[i].Row })
+	dst = appendDeltaColumn(dst, len(cells), func(i int) int64 { return int64(cells[i].Col) })
+	for _, c := range cells {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Val))
+	}
+	return dst
+}
+
+// DecodeMatEntryBlock parses one block written by AppendMatEntryBlock.
+func DecodeMatEntryBlock(src []byte) ([]MatEntry, []byte, error) {
+	n, src, err := readCount(src)
+	if err != nil {
+		return nil, src, err
+	}
+	out := make([]MatEntry, n)
+	src, err = decodeDeltaColumn(src, n, func(i int, v int64) { out[i].Row = v })
+	if err != nil {
+		return nil, src, err
+	}
+	var rangeErr error
+	src, err = decodeDeltaColumn(src, n, func(i int, v int64) { out[i].Col = int32Checked(v, &rangeErr) })
+	if err == nil {
+		err = rangeErr
+	}
+	if err != nil {
+		return nil, src, err
+	}
+	if len(src) < n*8 {
+		return nil, src, fmt.Errorf("core: short MatEntry block value column: %d bytes for %d records", len(src), n)
+	}
+	for i := range out {
+		out[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return out, src[n*8:], nil
+}
+
+func matEntryDeltaSize(prev, c MatEntry) int64 {
+	return varintLen(zigzag(c.Row-prev.Row)) +
+		varintLen(zigzag(int64(c.Col)-int64(prev.Col))) + 8
+}
+
+// MatEntryBlockSize is the exact encoded size of AppendMatEntryBlock.
+func MatEntryBlockSize(cells []MatEntry) int64 {
+	n := blockHeaderSize(len(cells))
+	var prev MatEntry
+	for _, c := range cells {
+		n += matEntryDeltaSize(prev, c)
+		prev = c
+	}
+	return n
+}
+
+// --- sval shuffle blocks (the 3-way plan jobs) ------------------------
+
+// svalPairSize is the incremental encoded size of pair (k, v) appended
+// to a shuffle block whose previous pair is (pk, pv) — mr.BlockSizer's
+// Pair contract, with the first pair sized against zero values. The
+// layout per record: three key delta columns, one tag byte, three
+// index delta columns, one column delta, and the 8-byte value.
+func svalPairSize(pk [3]int64, pv sval, k [3]int64, v sval) int64 {
+	return varintLen(zigzag(k[0]-pk[0])) +
+		varintLen(zigzag(k[1]-pk[1])) +
+		varintLen(zigzag(k[2]-pk[2])) +
+		1 +
+		varintLen(zigzag(v.idx[0]-pv.idx[0])) +
+		varintLen(zigzag(v.idx[1]-pv.idx[1])) +
+		varintLen(zigzag(v.idx[2]-pv.idx[2])) +
+		varintLen(zigzag(int64(v.col)-int64(pv.col))) +
+		8
+}
+
+// appendSValBlock encodes one shuffle partition block: parallel keys
+// and vals slices (len(keys) == len(vals)). Length is exactly
+// blockHeaderSize(n) + Σ svalPairSize over consecutive pairs.
+func appendSValBlock(dst []byte, keys [][3]int64, vals []sval) []byte {
+	n := len(keys)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for m := 0; m < 3; m++ {
+		dst = appendDeltaColumn(dst, n, func(i int) int64 { return keys[i][m] })
+	}
+	for _, v := range vals {
+		dst = append(dst, v.tag)
+	}
+	for m := 0; m < 3; m++ {
+		dst = appendDeltaColumn(dst, n, func(i int) int64 { return vals[i].idx[m] })
+	}
+	dst = appendDeltaColumn(dst, n, func(i int) int64 { return int64(vals[i].col) })
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.val))
+	}
+	return dst
+}
+
+// decodeSValBlock parses one block written by appendSValBlock.
+func decodeSValBlock(src []byte) (keys [][3]int64, vals []sval, rest []byte, err error) {
+	n, src, err := readCount(src)
+	if err != nil {
+		return nil, nil, src, err
+	}
+	keys = make([][3]int64, n)
+	vals = make([]sval, n)
+	for m := 0; m < 3; m++ {
+		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { keys[i][m] = v })
+		if err != nil {
+			return nil, nil, src, err
+		}
+	}
+	if len(src) < n {
+		return nil, nil, src, fmt.Errorf("core: short sval block tag column")
+	}
+	for i := 0; i < n; i++ {
+		vals[i].tag = src[i]
+	}
+	src = src[n:]
+	for m := 0; m < 3; m++ {
+		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { vals[i].idx[m] = v })
+		if err != nil {
+			return nil, nil, src, err
+		}
+	}
+	var rangeErr error
+	src, err = decodeDeltaColumn(src, n, func(i int, v int64) { vals[i].col = int32Checked(v, &rangeErr) })
+	if err == nil {
+		err = rangeErr
+	}
+	if err != nil {
+		return nil, nil, src, err
+	}
+	if len(src) < n*8 {
+		return nil, nil, src, fmt.Errorf("core: short sval block value column")
+	}
+	for i := 0; i < n; i++ {
+		vals[i].val = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return keys, vals, src[n*8:], nil
+}
+
+// --- nsval shuffle blocks (the N-way plan jobs) -----------------------
+
+// nsvalPairSize is svalPairSize's N-way counterpart: two key delta
+// columns, one side byte, maxOrder index delta columns, one column
+// delta, and the value.
+func nsvalPairSize(pk [2]int64, pv nsval, k [2]int64, v nsval) int64 {
+	n := varintLen(zigzag(k[0]-pk[0])) +
+		varintLen(zigzag(k[1]-pk[1])) +
+		1 +
+		varintLen(zigzag(int64(v.col)-int64(pv.col))) +
+		8
+	for m := 0; m < maxOrder; m++ {
+		n += varintLen(zigzag(v.idx[m] - pv.idx[m]))
+	}
+	return n
+}
+
+// appendNSValBlock encodes one N-way shuffle partition block.
+func appendNSValBlock(dst []byte, keys [][2]int64, vals []nsval) []byte {
+	n := len(keys)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for m := 0; m < 2; m++ {
+		dst = appendDeltaColumn(dst, n, func(i int) int64 { return keys[i][m] })
+	}
+	for _, v := range vals {
+		b := byte(0)
+		if v.isMat {
+			b = 1
+		}
+		dst = append(dst, b)
+	}
+	for m := 0; m < maxOrder; m++ {
+		dst = appendDeltaColumn(dst, n, func(i int) int64 { return vals[i].idx[m] })
+	}
+	dst = appendDeltaColumn(dst, n, func(i int) int64 { return int64(vals[i].col) })
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.val))
+	}
+	return dst
+}
+
+// decodeNSValBlock parses one block written by appendNSValBlock.
+func decodeNSValBlock(src []byte) (keys [][2]int64, vals []nsval, rest []byte, err error) {
+	n, src, err := readCount(src)
+	if err != nil {
+		return nil, nil, src, err
+	}
+	keys = make([][2]int64, n)
+	vals = make([]nsval, n)
+	for m := 0; m < 2; m++ {
+		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { keys[i][m] = v })
+		if err != nil {
+			return nil, nil, src, err
+		}
+	}
+	if len(src) < n {
+		return nil, nil, src, fmt.Errorf("core: short nsval block side column")
+	}
+	for i := 0; i < n; i++ {
+		if src[i] > 1 {
+			return nil, nil, src, fmt.Errorf("core: bad nsval side byte %d", src[i])
+		}
+		vals[i].isMat = src[i] != 0
+	}
+	src = src[n:]
+	for m := 0; m < maxOrder; m++ {
+		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { vals[i].idx[m] = v })
+		if err != nil {
+			return nil, nil, src, err
+		}
+	}
+	var rangeErr error
+	src, err = decodeDeltaColumn(src, n, func(i int, v int64) { vals[i].col = int32Checked(v, &rangeErr) })
+	if err == nil {
+		err = rangeErr
+	}
+	if err != nil {
+		return nil, nil, src, err
+	}
+	if len(src) < n*8 {
+		return nil, nil, src, fmt.Errorf("core: short nsval block value column")
+	}
+	for i := 0; i < n; i++ {
+		vals[i].val = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return keys, vals, src[n*8:], nil
+}
+
+// Shared sizer instances: one per shuffle pair shape, so every job of
+// an ALS run reuses the same mr.BlockSizer value (no per-job allocs).
+var (
+	svalColumnarSizer  = &mr.BlockSizer[[3]int64, sval]{Pair: svalPairSize, Header: blockHeaderSize}
+	nsvalColumnarSizer = &mr.BlockSizer[[2]int64, nsval]{Pair: nsvalPairSize, Header: blockHeaderSize}
+)
+
+// svalAccounting applies the selected codec to a 3-way plan job:
+// columnar block accounting by default, fixed-width KVSize as the
+// fallback.
+func svalAccounting[O any](j *mr.Job[[3]int64, sval, O], codec Codec) {
+	if codec == CodecFixed {
+		j.KVSize = svalSize
+	} else {
+		j.BlockKV = svalColumnarSizer
+	}
+}
+
+// nsvalAccounting is svalAccounting for the N-way jobs.
+func nsvalAccounting[O any](j *mr.Job[[2]int64, nsval, O], codec Codec) {
+	if codec == CodecFixed {
+		j.KVSize = nsvalSize
+	} else {
+		j.BlockKV = nsvalColumnarSizer
+	}
+}

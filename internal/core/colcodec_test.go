@@ -1,0 +1,500 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// The columnar codec's load-bearing invariant is that the incremental
+// sizers charge exactly the bytes the encoders produce: the mr engine
+// accounts shuffle volume through BlockSizer without ever materializing
+// a block, so any drift between sizer and encoder silently corrupts the
+// cost model (simulated time, resource limits, the paper's Tables
+// III/IV). The tests here pin both directions — sizer == len(encoding),
+// and decode ∘ encode == identity — on structured, adversarial, and
+// fuzzed inputs, plus the end-to-end form: the bytes a job is charged
+// equal the length of the blocks its shuffle would have written.
+
+// randEntries builds n entries with a controllable index spread. Sorted
+// sequences exercise the tiny-delta fast path; unsorted ones (shuffle
+// emission order) exercise sign flips and wide deltas.
+func randEntries(rng *rand.Rand, n int, span int64, sorted bool) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			Idx: [3]int64{rng.Int63n(2*span+1) - span, rng.Int63n(2*span+1) - span, rng.Int63n(2*span+1) - span},
+			Val: rng.NormFloat64(),
+		}
+	}
+	if sorted {
+		sortEntries(out)
+	}
+	return out
+}
+
+func sortEntries(es []Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && lessIdx(es[j].Idx, es[j-1].Idx); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func lessIdx(a, b [3]int64) bool {
+	for m := 0; m < 3; m++ {
+		if a[m] != b[m] {
+			return a[m] < b[m]
+		}
+	}
+	return false
+}
+
+func TestEntryBlockSizerMatchesEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]Entry{
+		nil,
+		{},
+		{{Idx: [3]int64{0, 0, 0}, Val: 0}},
+		{{Idx: [3]int64{math.MaxInt64, math.MinInt64, -1}, Val: math.NaN()}},
+		randEntries(rng, 1000, 50, true),
+		randEntries(rng, 1000, 50, false),
+		randEntries(rng, 257, math.MaxInt64/2, false),
+	}
+	for ci, es := range cases {
+		enc := AppendEntryBlock(nil, es)
+		if got, want := int64(len(enc)), EntryBlockSize(es); got != want {
+			t.Fatalf("case %d: encoded %d bytes, sizer declared %d", ci, got, want)
+		}
+		dec, rest, err := DecodeEntryBlock(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", ci, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("case %d: %d trailing bytes", ci, len(rest))
+		}
+		if len(dec) != len(es) {
+			t.Fatalf("case %d: decoded %d records, want %d", ci, len(dec), len(es))
+		}
+		for i := range es {
+			if dec[i].Idx != es[i].Idx || math.Float64bits(dec[i].Val) != math.Float64bits(es[i].Val) {
+				t.Fatalf("case %d record %d: got %+v want %+v", ci, i, dec[i], es[i])
+			}
+		}
+	}
+}
+
+func TestMatEntryBlockSizerMatchesEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var cells []MatEntry
+	for i := 0; i < 500; i++ {
+		cells = append(cells, MatEntry{
+			Row: rng.Int63n(1 << 40), Col: int32(rng.Intn(1 << 20)), Val: rng.NormFloat64(),
+		})
+	}
+	for _, cs := range [][]MatEntry{nil, cells[:1], cells} {
+		enc := AppendMatEntryBlock(nil, cs)
+		if got, want := int64(len(enc)), MatEntryBlockSize(cs); got != want {
+			t.Fatalf("encoded %d bytes, sizer declared %d", got, want)
+		}
+		dec, rest, err := DecodeMatEntryBlock(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode: %v, %d trailing", err, len(rest))
+		}
+		for i := range cs {
+			if dec[i] != cs[i] {
+				t.Fatalf("record %d: got %+v want %+v", i, dec[i], cs[i])
+			}
+		}
+	}
+}
+
+// incrementalBlockSize folds a BlockSizer the way the engine does: each
+// pair sized against its predecessor, the first against zero values,
+// plus the header.
+func svalIncrementalSize(keys [][3]int64, vals []sval) int64 {
+	var n int64
+	var pk [3]int64
+	var pv sval
+	for i := range keys {
+		n += svalPairSize(pk, pv, keys[i], vals[i])
+		pk, pv = keys[i], vals[i]
+	}
+	return n + blockHeaderSize(len(keys))
+}
+
+func TestSValBlockSizerMatchesEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var keys [][3]int64
+	var vals []sval
+	for i := 0; i < 800; i++ {
+		keys = append(keys, [3]int64{rng.Int63n(1000), rng.Int63n(1000), 0})
+		vals = append(vals, sval{
+			tag: uint8(rng.Intn(4)),
+			idx: [3]int64{rng.Int63n(1000), rng.Int63n(1000), rng.Int63n(1000)},
+			col: int32(rng.Intn(64)),
+			val: rng.NormFloat64(),
+		})
+	}
+	for _, n := range []int{0, 1, 800} {
+		enc := appendSValBlock(nil, keys[:n], vals[:n])
+		if got, want := int64(len(enc)), svalIncrementalSize(keys[:n], vals[:n]); got != want {
+			t.Fatalf("n=%d: encoded %d bytes, incremental sizer declared %d", n, got, want)
+		}
+		dk, dv, rest, err := decodeSValBlock(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("n=%d: decode: %v, %d trailing", n, err, len(rest))
+		}
+		for i := 0; i < n; i++ {
+			if dk[i] != keys[i] || dv[i] != vals[i] {
+				t.Fatalf("n=%d record %d: got (%v,%+v) want (%v,%+v)", n, i, dk[i], dv[i], keys[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestNSValBlockSizerMatchesEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var keys [][2]int64
+	var vals []nsval
+	for i := 0; i < 800; i++ {
+		keys = append(keys, [2]int64{rng.Int63n(1000), rng.Int63n(5)})
+		var idx [maxOrder]int64
+		for m := range idx {
+			idx[m] = rng.Int63n(1000)
+		}
+		vals = append(vals, nsval{
+			isMat: rng.Intn(2) == 1,
+			idx:   idx,
+			col:   int32(rng.Intn(64)),
+			val:   rng.NormFloat64(),
+		})
+	}
+	var want int64
+	var pk [2]int64
+	var pv nsval
+	for i := range keys {
+		want += nsvalPairSize(pk, pv, keys[i], vals[i])
+		pk, pv = keys[i], vals[i]
+	}
+	want += blockHeaderSize(len(keys))
+	enc := appendNSValBlock(nil, keys, vals)
+	if got := int64(len(enc)); got != want {
+		t.Fatalf("encoded %d bytes, incremental sizer declared %d", got, want)
+	}
+	dk, dv, rest, err := decodeNSValBlock(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v, %d trailing", err, len(rest))
+	}
+	for i := range keys {
+		if dk[i] != keys[i] || dv[i] != vals[i] {
+			t.Fatalf("record %d: got (%v,%+v) want (%v,%+v)", i, dk[i], dv[i], keys[i], vals[i])
+		}
+	}
+}
+
+// TestColumnarChargeMatchesEncodedBytes is the end-to-end form of the
+// sizer invariant: run a real shuffle through the engine with a
+// recording BlockSizer, reconstruct every per-partition block the
+// accounting walk declared, encode each with the real encoder, and
+// require the job's ShuffleBytes to equal the summed encoded lengths
+// exactly. A single-worker cluster serializes the map tasks so the
+// recorder sees each bucket's Pair calls contiguously (the engine walks
+// one bucket at a time: n Pair calls, then Header(n)).
+func TestColumnarChargeMatchesEncodedBytes(t *testing.T) {
+	c := mr.NewCluster(mr.Config{Machines: 1, SlotsPerMachine: 1})
+	rng := rand.New(rand.NewSource(5))
+	entries := randEntries(rng, 2000, 400, true)
+	if err := mr.WriteFile(c, "in", entries, entrySize); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var curK [][3]int64
+	var curV []sval
+	var encodedTotal int64
+	rec := &mr.BlockSizer[[3]int64, sval]{
+		Pair: func(pk [3]int64, pv sval, k [3]int64, v sval) int64 {
+			mu.Lock()
+			curK = append(curK, k)
+			curV = append(curV, v)
+			mu.Unlock()
+			return svalPairSize(pk, pv, k, v)
+		},
+		Header: func(n int) int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if n != len(curK) {
+				t.Errorf("block declared %d records, recorder saw %d", n, len(curK))
+			}
+			encodedTotal += int64(len(appendSValBlock(nil, curK, curV)))
+			curK, curV = curK[:0], curV[:0]
+			return blockHeaderSize(n)
+		},
+	}
+
+	job := mr.Job[[3]int64, sval, YEntry]{
+		Name: "charge-invariant",
+		Inputs: []mr.Input[[3]int64, sval]{mr.MapInput("in", func(e Entry, emit func([3]int64, sval)) {
+			emit([3]int64{e.Idx[0], e.Idx[1], 0}, sval{tag: tagTensor, idx: e.Idx, val: e.Val})
+		})},
+		Reduce: func(k [3]int64, vs []sval, emit func(YEntry)) {
+			var s float64
+			for _, v := range vs {
+				s += v.val
+			}
+			emit(YEntry{I: k[0], Val: s})
+		},
+		Partition: mr.HashTriple,
+		BlockKV:   rec,
+		OutSize:   yEntrySize,
+	}
+	_, st, err := mr.Run(c, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShuffleBytes != encodedTotal {
+		t.Fatalf("engine charged %d shuffle bytes, real encodings total %d", st.ShuffleBytes, encodedTotal)
+	}
+	if st.ShuffleRecords != int64(len(entries)) {
+		t.Fatalf("shuffle records %d, want %d", st.ShuffleRecords, len(entries))
+	}
+	// And the whole point of the codec: the columnar charge must be
+	// strictly below the fixed-width charge for the same shuffle.
+	fixed := int64(len(entries)) * svalSize([3]int64{}, sval{})
+	if encodedTotal >= fixed {
+		t.Fatalf("columnar charge %d not below fixed-width charge %d", encodedTotal, fixed)
+	}
+}
+
+// TestCodecShuffleBytesDecrease pins the acceptance criterion that
+// switching a full plan from fixed-width to columnar accounting
+// strictly decreases shuffle bytes while leaving record counts — and
+// every output byte — untouched.
+func TestCodecShuffleBytesDecrease(t *testing.T) {
+	run := func(codec Codec) (*ParafacResult, mr.Totals) {
+		c := mr.NewCluster(mr.Config{Machines: 2, SlotsPerMachine: 2})
+		x := smallTestTensor(t)
+		res, err := ParafacALS(c, x, 3, Options{Variant: DRI, MaxIters: 3, Seed: 11, Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, c.Totals()
+	}
+	colRes, colTot := run(CodecColumnar)
+	fixRes, fixTot := run(CodecFixed)
+	if colTot.ShuffleRecords != fixTot.ShuffleRecords {
+		t.Fatalf("codec changed shuffle records: columnar %d, fixed %d", colTot.ShuffleRecords, fixTot.ShuffleRecords)
+	}
+	if colTot.ShuffleBytes >= fixTot.ShuffleBytes {
+		t.Fatalf("columnar shuffle bytes %d not strictly below fixed %d", colTot.ShuffleBytes, fixTot.ShuffleBytes)
+	}
+	assertSameParafac(t, colRes, fixRes)
+}
+
+// TestCodecFactorBitIdentity is the correctness half of the codec
+// switch: accounting must never leak into arithmetic, so both codecs
+// produce bit-identical factors.
+func TestCodecFactorBitIdentity(t *testing.T) {
+	x := smallTestTensor(t)
+	var results []*ParafacResult
+	var tuckers []*TuckerResult
+	for _, codec := range []Codec{CodecColumnar, CodecFixed} {
+		c := mr.NewCluster(mr.Config{Machines: 2, SlotsPerMachine: 2})
+		res, err := ParafacALS(c, x, 2, Options{Variant: DRI, MaxIters: 2, Seed: 7, Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+		tc := mr.NewCluster(mr.Config{Machines: 2, SlotsPerMachine: 2})
+		tres, err := TuckerALS(tc, x, [3]int{2, 2, 2}, Options{Variant: DRI, MaxIters: 2, Seed: 7, Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuckers = append(tuckers, tres)
+	}
+	assertSameParafac(t, results[0], results[1])
+	for m := range tuckers[0].Model.Factors {
+		assertSameMatrix(t, tuckers[0].Model.Factors[m], tuckers[1].Model.Factors[m])
+	}
+	g0, g1 := tuckers[0].Model.Core.Data, tuckers[1].Model.Core.Data
+	if len(g0) != len(g1) {
+		t.Fatalf("core sizes differ")
+	}
+	for i := range g0 {
+		if math.Float64bits(g0[i]) != math.Float64bits(g1[i]) {
+			t.Fatalf("core entry %d differs between codecs", i)
+		}
+	}
+}
+
+func smallTestTensor(t *testing.T) *tensor.Tensor {
+	t.Helper()
+	return gen.Random(42, [3]int64{8, 8, 8}, 120)
+}
+
+func assertSameParafac(t *testing.T, a, b *ParafacResult) {
+	t.Helper()
+	if len(a.Model.Lambda) != len(b.Model.Lambda) {
+		t.Fatalf("lambda lengths differ: %d vs %d", len(a.Model.Lambda), len(b.Model.Lambda))
+	}
+	for i := range a.Model.Lambda {
+		if math.Float64bits(a.Model.Lambda[i]) != math.Float64bits(b.Model.Lambda[i]) {
+			t.Fatalf("lambda[%d] differs: %v vs %v", i, a.Model.Lambda[i], b.Model.Lambda[i])
+		}
+	}
+	for m := range a.Model.Factors {
+		assertSameMatrix(t, a.Model.Factors[m], b.Model.Factors[m])
+	}
+}
+
+func assertSameMatrix(t *testing.T, a, b *matrix.Matrix) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("matrix shapes differ: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			t.Fatalf("matrix cell %d differs: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// FuzzColumnarRoundTrip drives the columnar block codecs from both
+// directions. Forward: deterministically expand the fuzz bytes into a
+// record batch, then require len(encoding) == declared size and
+// decode ∘ encode == identity (bit-level on float payloads, so NaN
+// boxing survives). Backward: attempt to decode the raw fuzz bytes as a
+// block; whenever the decoder accepts a prefix, re-encoding the decoded
+// records must reproduce that prefix byte-for-byte.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(1), []byte{0})
+	f.Add(uint8(2), []byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(3), AppendEntryBlock(nil, []Entry{
+		{Idx: [3]int64{1, 2, 3}, Val: 4.5},
+		{Idx: [3]int64{-9, 0, 1 << 40}, Val: math.Inf(-1)},
+	}))
+	f.Add(uint8(0), AppendMatEntryBlock(nil, []MatEntry{{Row: 5, Col: -1, Val: math.NaN()}}))
+	f.Fuzz(func(t *testing.T, kind uint8, data []byte) {
+		// Forward: data → records → encode → size check → decode.
+		rng := rand.New(rand.NewSource(int64(len(data))))
+		take := func(i int) int64 {
+			if i < len(data) {
+				return int64(int8(data[i]))*1099511627776 + rng.Int63n(1000)
+			}
+			return rng.Int63n(1000) - 500
+		}
+		n := int(kind % 17)
+		switch kind % 4 {
+		case 0:
+			es := make([]Entry, n)
+			for i := range es {
+				es[i] = Entry{Idx: [3]int64{take(3 * i), take(3*i + 1), take(3*i + 2)}, Val: rng.NormFloat64()}
+			}
+			enc := AppendEntryBlock(nil, es)
+			if int64(len(enc)) != EntryBlockSize(es) {
+				t.Fatalf("Entry: encoded %d, declared %d", len(enc), EntryBlockSize(es))
+			}
+			dec, rest, err := DecodeEntryBlock(enc)
+			if err != nil || len(rest) != 0 || len(dec) != n {
+				t.Fatalf("Entry round trip: %v, %d trailing, %d records", err, len(rest), len(dec))
+			}
+			for i := range es {
+				if dec[i].Idx != es[i].Idx || math.Float64bits(dec[i].Val) != math.Float64bits(es[i].Val) {
+					t.Fatalf("Entry %d: %+v != %+v", i, dec[i], es[i])
+				}
+			}
+		case 1:
+			cs := make([]MatEntry, n)
+			for i := range cs {
+				cs[i] = MatEntry{Row: take(2 * i), Col: int32(take(2*i + 1)), Val: rng.NormFloat64()}
+			}
+			enc := AppendMatEntryBlock(nil, cs)
+			if int64(len(enc)) != MatEntryBlockSize(cs) {
+				t.Fatalf("MatEntry: encoded %d, declared %d", len(enc), MatEntryBlockSize(cs))
+			}
+			dec, rest, err := DecodeMatEntryBlock(enc)
+			if err != nil || len(rest) != 0 || len(dec) != n {
+				t.Fatalf("MatEntry round trip: %v, %d trailing, %d records", err, len(rest), len(dec))
+			}
+			for i := range cs {
+				if dec[i].Row != cs[i].Row || dec[i].Col != cs[i].Col ||
+					math.Float64bits(dec[i].Val) != math.Float64bits(cs[i].Val) {
+					t.Fatalf("MatEntry %d: %+v != %+v", i, dec[i], cs[i])
+				}
+			}
+		case 2:
+			keys := make([][3]int64, n)
+			vals := make([]sval, n)
+			for i := range keys {
+				keys[i] = [3]int64{take(6 * i), take(6*i + 1), take(6*i + 2)}
+				vals[i] = sval{
+					tag: uint8(take(6*i + 3)),
+					idx: [3]int64{take(6*i + 4), take(6*i + 5), rng.Int63n(100)},
+					col: int32(rng.Intn(256)),
+					val: rng.NormFloat64(),
+				}
+			}
+			enc := appendSValBlock(nil, keys, vals)
+			if int64(len(enc)) != svalIncrementalSize(keys, vals) {
+				t.Fatalf("sval: encoded %d, declared %d", len(enc), svalIncrementalSize(keys, vals))
+			}
+			dk, dv, rest, err := decodeSValBlock(enc)
+			if err != nil || len(rest) != 0 {
+				t.Fatalf("sval round trip: %v, %d trailing", err, len(rest))
+			}
+			for i := range keys {
+				if dk[i] != keys[i] || dv[i].tag != vals[i].tag || dv[i].idx != vals[i].idx ||
+					dv[i].col != vals[i].col || math.Float64bits(dv[i].val) != math.Float64bits(vals[i].val) {
+					t.Fatalf("sval %d: (%v,%+v) != (%v,%+v)", i, dk[i], dv[i], keys[i], vals[i])
+				}
+			}
+		case 3:
+			keys := make([][2]int64, n)
+			vals := make([]nsval, n)
+			for i := range keys {
+				keys[i] = [2]int64{take(4 * i), take(4*i + 1)}
+				var idx [maxOrder]int64
+				for m := range idx {
+					idx[m] = take(4*i + 2 + m)
+				}
+				vals[i] = nsval{isMat: rng.Intn(2) == 1, idx: idx, col: int32(rng.Intn(256)), val: rng.NormFloat64()}
+			}
+			enc := appendNSValBlock(nil, keys, vals)
+			dk, dv, rest, err := decodeNSValBlock(enc)
+			if err != nil || len(rest) != 0 {
+				t.Fatalf("nsval round trip: %v, %d trailing", err, len(rest))
+			}
+			for i := range keys {
+				if dk[i] != keys[i] || dv[i].isMat != vals[i].isMat || dv[i].idx != vals[i].idx ||
+					dv[i].col != vals[i].col || math.Float64bits(dv[i].val) != math.Float64bits(vals[i].val) {
+					t.Fatalf("nsval %d mismatch", i)
+				}
+			}
+		}
+
+		// Backward: arbitrary bytes through the decoders. Acceptance is
+		// rare (the count header must be plausible), but whenever a
+		// decoder accepts, re-encoding must reproduce the consumed
+		// prefix exactly.
+		if es, rest, err := DecodeEntryBlock(data); err == nil {
+			reenc := AppendEntryBlock(nil, es)
+			if consumed := len(data) - len(rest); len(reenc) != consumed || string(reenc) != string(data[:consumed]) {
+				t.Fatalf("Entry decoder accepted %d bytes but re-encode differs", consumed)
+			}
+		}
+		if cs, rest, err := DecodeMatEntryBlock(data); err == nil {
+			reenc := AppendMatEntryBlock(nil, cs)
+			if consumed := len(data) - len(rest); len(reenc) != consumed || string(reenc) != string(data[:consumed]) {
+				t.Fatalf("MatEntry decoder accepted %d bytes but re-encode differs", consumed)
+			}
+		}
+	})
+}

@@ -118,7 +118,7 @@ func (s *Staged) tuckerNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		}
 		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T%d", q))
 		tFiles = append(tFiles, tf)
-		out, err := naiveContract(s.cluster, []string{s.Name}, s.Dims, m1, vecFile, int64(u1.Rows), int64(q), fibers1, tf)
+		out, err := naiveContract(s.cluster, s.codec, []string{s.Name}, s.Dims, m1, vecFile, int64(u1.Rows), int64(q), fibers1, tf)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +146,7 @@ func (s *Staged) tuckerNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		}
 		yf := tmpName(s.cluster, s.Name, fmt.Sprintf("Y%d", r))
 		yFiles = append(yFiles, yf)
-		out, err := naiveContract(s.cluster, tFiles, tDims, m2, vecFile, int64(u2.Rows), int64(r), fibers2, yf)
+		out, err := naiveContract(s.cluster, s.codec, tFiles, tDims, m2, vecFile, int64(u2.Rows), int64(r), fibers2, yf)
 		if err != nil {
 			return nil, err
 		}
@@ -173,13 +173,13 @@ func (s *Staged) tuckerDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		}
 		hf := tmpName(s.cluster, s.Name, fmt.Sprintf("H%d", q))
 		hFiles = append(hFiles, hf)
-		if err := hadamardVec(s.cluster, s.Name, m1, int32(q), vecFile, false, hf); err != nil {
+		if err := hadamardVec(s.cluster, s.codec, s.Name, m1, int32(q), vecFile, false, hf); err != nil {
 			return nil, err
 		}
 	}
 	tFile := tmpName(s.cluster, s.Name, "T")
 	hFiles = append(hFiles, tFile)
-	if _, err := collapse(s.cluster, hFiles[:len(hFiles)-1], m1, tFile); err != nil {
+	if _, err := collapse(s.cluster, s.codec, hFiles[:len(hFiles)-1], m1, tFile); err != nil {
 		return nil, err
 	}
 	var h2Files []string
@@ -190,13 +190,13 @@ func (s *Staged) tuckerDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		}
 		hf := tmpName(s.cluster, s.Name, fmt.Sprintf("H2_%d", r))
 		h2Files = append(h2Files, hf)
-		if err := hadamardVec(s.cluster, tFile, m2, int32(r), vecFile, false, hf); err != nil {
+		if err := hadamardVec(s.cluster, s.codec, tFile, m2, int32(r), vecFile, false, hf); err != nil {
 			return nil, err
 		}
 	}
 	yFile := tmpName(s.cluster, s.Name, "Y")
 	h2Files = append(h2Files, yFile)
-	out, err := collapse(s.cluster, h2Files[:len(h2Files)-1], m2, yFile)
+	out, err := collapse(s.cluster, s.codec, h2Files[:len(h2Files)-1], m2, yFile)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +224,7 @@ func (s *Staged) tuckerDRN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 	}
 	mg := tr.Begin("stage", "cross-merge")
 	defer tr.End(mg)
-	return crossMerge(s.cluster, t1Files, t2Files, n)
+	return crossMerge(s.cluster, s.codec, t1Files, t2Files, n)
 }
 
 // tuckerDRI: Algorithm 9. One IMHP job + one CrossMerge: 2 jobs.
@@ -238,7 +238,7 @@ func (s *Staged) tuckerDRI(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 	}
 	mg := tr.Begin("stage", "cross-merge")
 	defer tr.End(mg)
-	return crossMerge(s.cluster, []string{t1File}, []string{t2File}, n)
+	return crossMerge(s.cluster, s.codec, []string{t1File}, []string{t2File}, n)
 }
 
 // --- PARAFAC plans ----------------------------------------------------
@@ -265,7 +265,7 @@ func (s *Staged) parafacNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		}
 		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T%d", r))
 		tmp = append(tmp, tf)
-		tOut, err := naiveContract(s.cluster, []string{s.Name}, s.Dims, m1, vecFile, int64(u1.Rows), int64(r), fibers1, tf)
+		tOut, err := naiveContract(s.cluster, s.codec, []string{s.Name}, s.Dims, m1, vecFile, int64(u1.Rows), int64(r), fibers1, tf)
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +284,7 @@ func (s *Staged) parafacNaive(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		}
 		yf := tmpName(s.cluster, s.Name, fmt.Sprintf("Y%d", r))
 		tmp = append(tmp, yf)
-		yOut, err := naiveContract(s.cluster, []string{tf}, tDims, m2, vecFile, int64(u2.Rows), int64(r), fibers2, yf)
+		yOut, err := naiveContract(s.cluster, s.codec, []string{tf}, tDims, m2, vecFile, int64(u2.Rows), int64(r), fibers2, yf)
 		if err != nil {
 			return nil, err
 		}
@@ -311,12 +311,12 @@ func (s *Staged) parafacDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		}
 		hf := tmpName(s.cluster, s.Name, fmt.Sprintf("H%d", r))
 		tmp = append(tmp, hf)
-		if err := hadamardVec(s.cluster, s.Name, m1, int32(r), vecFile, false, hf); err != nil {
+		if err := hadamardVec(s.cluster, s.codec, s.Name, m1, int32(r), vecFile, false, hf); err != nil {
 			return nil, err
 		}
 		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T%d", r))
 		tmp = append(tmp, tf)
-		if _, err := collapse(s.cluster, []string{hf}, m1, tf); err != nil {
+		if _, err := collapse(s.cluster, s.codec, []string{hf}, m1, tf); err != nil {
 			return nil, err
 		}
 		if err := stageColumn(s.cluster, vecFile, u2, r); err != nil {
@@ -324,12 +324,12 @@ func (s *Staged) parafacDNN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 		}
 		h2 := tmpName(s.cluster, s.Name, fmt.Sprintf("H2_%d", r))
 		tmp = append(tmp, h2)
-		if err := hadamardVec(s.cluster, tf, m2, int32(r), vecFile, false, h2); err != nil {
+		if err := hadamardVec(s.cluster, s.codec, tf, m2, int32(r), vecFile, false, h2); err != nil {
 			return nil, err
 		}
 		yf := tmpName(s.cluster, s.Name, fmt.Sprintf("Y%d", r))
 		tmp = append(tmp, yf)
-		out, err := collapse(s.cluster, []string{h2}, m2, yf)
+		out, err := collapse(s.cluster, s.codec, []string{h2}, m2, yf)
 		if err != nil {
 			return nil, err
 		}
@@ -356,7 +356,7 @@ func (s *Staged) parafacDRN(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 	}
 	mg := tr.Begin("stage", "pairwise-merge")
 	defer tr.End(mg)
-	return pairwiseMerge(s.cluster, t1Files, t2Files, n)
+	return pairwiseMerge(s.cluster, s.codec, t1Files, t2Files, n)
 }
 
 // parafacDRI: Algorithm 10. One IMHP job + one PairwiseMerge: 2 jobs.
@@ -370,7 +370,7 @@ func (s *Staged) parafacDRI(n int, u1, u2 *matrix.Matrix) ([]YEntry, error) {
 	}
 	mg := tr.Begin("stage", "pairwise-merge")
 	defer tr.End(mg)
-	return pairwiseMerge(s.cluster, []string{t1File}, []string{t2File}, n)
+	return pairwiseMerge(s.cluster, s.codec, []string{t1File}, []string{t2File}, n)
 }
 
 // --- shared plan fragments ---------------------------------------------
@@ -389,7 +389,7 @@ func (s *Staged) drnHadamards(n int, u1, u2 *matrix.Matrix) (t1Files, t2Files []
 		}
 		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T1_%d", q))
 		t1Files = append(t1Files, tf)
-		if err = hadamardVec(s.cluster, s.Name, m1, int32(q), vecFile, false, tf); err != nil {
+		if err = hadamardVec(s.cluster, s.codec, s.Name, m1, int32(q), vecFile, false, tf); err != nil {
 			return
 		}
 	}
@@ -399,7 +399,7 @@ func (s *Staged) drnHadamards(n int, u1, u2 *matrix.Matrix) (t1Files, t2Files []
 		}
 		tf := tmpName(s.cluster, s.Name, fmt.Sprintf("T2_%d", r))
 		t2Files = append(t2Files, tf)
-		if err = hadamardVec(s.cluster, s.Name, m2, int32(r), vecFile, true, tf); err != nil {
+		if err = hadamardVec(s.cluster, s.codec, s.Name, m2, int32(r), vecFile, true, tf); err != nil {
 			return
 		}
 	}
@@ -428,6 +428,6 @@ func (s *Staged) driIMHP(n int, u1, u2 *matrix.Matrix) (t1File, t2File string, e
 	defer tr.End(im)
 	t1File = tmpName(s.cluster, s.Name, "T1")
 	t2File = tmpName(s.cluster, s.Name, "T2")
-	err = imhp(s.cluster, s.Name, m1, bFile, m2, cFile, t1File, t2File)
+	err = imhp(s.cluster, s.codec, s.Name, m1, bFile, m2, cFile, t1File, t2File)
 	return
 }

@@ -63,7 +63,14 @@ type StagedN struct {
 	Dims    []int64
 	NNZ     int64
 	cluster *mr.Cluster
+	// codec selects the shuffle wire format of the jobs run against this
+	// tensor (CodecColumnar unless overridden via SetCodec).
+	codec Codec
 }
+
+// SetCodec selects the shuffle codec for subsequent jobs. The codec
+// only changes byte accounting, never results.
+func (s *StagedN) SetCodec(c Codec) { s.codec = c }
 
 // StageN writes a coalesced tensor of order 3 or 4 to the cluster DFS.
 func StageN(c *mr.Cluster, name string, x *tensor.Tensor) (*StagedN, error) {
@@ -105,11 +112,9 @@ func nsvalSize(_ [2]int64, v nsval) int64 {
 // 𝒯⁽⁰⁾ = 𝒳 ∗_{m₀} U₀ᵀ and 𝒯⁽ˢ⁾ = bin(𝒳) ∗_{mₛ} Uₛᵀ for s ≥ 1, where
 // modes lists the N−1 modes being multiplied and matFiles their staged
 // factors. Results are written per side to outFiles.
-func imhpN(c *mr.Cluster, xFile string, modes []int, matFiles, outFiles []string) error {
-	inputs := []mr.Input[[2]int64, nsval]{{
-		File: xFile,
-		Map: func(rec any, emit func([2]int64, nsval)) {
-			e := rec.(NEntry)
+func imhpN(c *mr.Cluster, codec Codec, xFile string, modes []int, matFiles, outFiles []string) error {
+	inputs := []mr.Input[[2]int64, nsval]{
+		mr.MapInput(xFile, func(e NEntry, emit func([2]int64, nsval)) {
 			for s, m := range modes {
 				v := e.Val
 				if s > 0 {
@@ -117,19 +122,15 @@ func imhpN(c *mr.Cluster, xFile string, modes []int, matFiles, outFiles []string
 				}
 				emit([2]int64{int64(s), e.Idx[m]}, nsval{idx: e.Idx, val: v})
 			}
-		},
-	}}
+		}),
+	}
 	for s, f := range matFiles {
 		side := int64(s)
-		inputs = append(inputs, mr.Input[[2]int64, nsval]{
-			File: f,
-			Map: func(rec any, emit func([2]int64, nsval)) {
-				cell := rec.(MatEntry)
-				emit([2]int64{side, cell.Row}, nsval{isMat: true, col: cell.Col, val: cell.Val})
-			},
-		})
+		inputs = append(inputs, mr.MapInput(f, func(cell MatEntry, emit func([2]int64, nsval)) {
+			emit([2]int64{side, cell.Row}, nsval{isMat: true, col: cell.Col, val: cell.Val})
+		}))
 	}
-	out, _, err := mr.Run(c, mr.Job[[2]int64, nsval, NHEntry]{
+	job := mr.Job[[2]int64, nsval, NHEntry]{
 		Name:   fmt.Sprintf("imhpN(%s)", xFile),
 		Inputs: inputs,
 		Reduce: func(key [2]int64, vals []nsval, emit func(NHEntry)) {
@@ -153,9 +154,10 @@ func imhpN(c *mr.Cluster, xFile string, modes []int, matFiles, outFiles []string
 			}
 		},
 		Partition: mr.HashPair,
-		KVSize:    nsvalSize,
 		OutSize:   nhEntrySize,
-	})
+	}
+	nsvalAccounting(&job, codec)
+	out, _, err := mr.Run(c, job)
 	if err != nil {
 		return err
 	}
@@ -176,23 +178,18 @@ func imhpN(c *mr.Cluster, xFile string, modes []int, matFiles, outFiles []string
 // every side's Hadamard records for one mode-n slice and cross all
 // column combinations:
 // 𝒴(i, q₀…q_{N-2}) = Σ_idx Π_s 𝒯⁽ˢ⁾(idx, q_s).
-func crossMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, error) {
+func crossMergeN(c *mr.Cluster, codec Codec, files []string, n, sides int) ([]NYEntry, error) {
 	// Files arrive one per side; the side index is packed into the high
 	// bits of the column (columns are ≤ 80 in the paper, far below the
 	// 16-bit boundary).
 	inputs := make([]mr.Input[[2]int64, nsval], len(files))
 	for s := range files {
 		side := int32(s)
-		f := files[s]
-		inputs[s] = mr.Input[[2]int64, nsval]{
-			File: f,
-			Map: func(rec any, emit func([2]int64, nsval)) {
-				h := rec.(NHEntry)
-				emit([2]int64{h.Idx[n], 0}, nsval{idx: h.Idx, col: side<<16 | h.Col, val: h.Val})
-			},
-		}
+		inputs[s] = mr.MapInput(files[s], func(h NHEntry, emit func([2]int64, nsval)) {
+			emit([2]int64{h.Idx[n], 0}, nsval{idx: h.Idx, col: side<<16 | h.Col, val: h.Val})
+		})
 	}
-	out, _, err := mr.Run(c, mr.Job[[2]int64, nsval, NYEntry]{
+	job := mr.Job[[2]int64, nsval, NYEntry]{
 		Name:   fmt.Sprintf("crossMergeN(mode=%d)", n),
 		Inputs: inputs,
 		Reduce: func(key [2]int64, vals []nsval, emit func(NYEntry)) {
@@ -254,29 +251,25 @@ func crossMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, error)
 			}
 		},
 		Partition: mr.HashPair,
-		KVSize:    nsvalSize,
 		OutSize:   nyEntrySize,
-	})
+	}
+	nsvalAccounting(&job, codec)
+	out, _, err := mr.Run(c, job)
 	return out, err
 }
 
 // pairwiseMergeN is the N-way PairwiseMerge (Definition 4): all sides
 // share the column index r, and reducers multiply one record per side
 // per coordinate: 𝒴(i, r) = Σ_idx Π_s 𝒯⁽ˢ⁾(idx, r).
-func pairwiseMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, error) {
+func pairwiseMergeN(c *mr.Cluster, codec Codec, files []string, n, sides int) ([]NYEntry, error) {
 	inputs := make([]mr.Input[[2]int64, nsval], len(files))
 	for s := range files {
 		side := int8(s)
-		f := files[s]
-		inputs[s] = mr.Input[[2]int64, nsval]{
-			File: f,
-			Map: func(rec any, emit func([2]int64, nsval)) {
-				h := rec.(NHEntry)
-				emit([2]int64{h.Idx[n], int64(h.Col)}, nsval{idx: h.Idx, col: int32(side), val: h.Val})
-			},
-		}
+		inputs[s] = mr.MapInput(files[s], func(h NHEntry, emit func([2]int64, nsval)) {
+			emit([2]int64{h.Idx[n], int64(h.Col)}, nsval{idx: h.Idx, col: int32(side), val: h.Val})
+		})
 	}
-	out, _, err := mr.Run(c, mr.Job[[2]int64, nsval, NYEntry]{
+	job := mr.Job[[2]int64, nsval, NYEntry]{
 		Name:   fmt.Sprintf("pairwiseMergeN(mode=%d)", n),
 		Inputs: inputs,
 		Reduce: func(key [2]int64, vals []nsval, emit func(NYEntry)) {
@@ -313,9 +306,10 @@ func pairwiseMergeN(c *mr.Cluster, files []string, n, sides int) ([]NYEntry, err
 			emit(NYEntry{I: key[0], Cols: cols, Val: sum})
 		},
 		Partition: mr.HashPair,
-		KVSize:    nsvalSize,
 		OutSize:   nyEntrySize,
-	})
+	}
+	nsvalAccounting(&job, codec)
+	out, _, err := mr.Run(c, job)
 	return out, err
 }
 
@@ -360,13 +354,13 @@ func (s *StagedN) contractN(n int, factors []*matrix.Matrix, pairwise bool) ([]N
 		outFiles = append(outFiles, of)
 		tmp = append(tmp, mf, of)
 	}
-	if err := imhpN(s.cluster, s.Name, modes, matFiles, outFiles); err != nil {
+	if err := imhpN(s.cluster, s.codec, s.Name, modes, matFiles, outFiles); err != nil {
 		return nil, err
 	}
 	if pairwise {
-		return pairwiseMergeN(s.cluster, outFiles, n, len(modes))
+		return pairwiseMergeN(s.cluster, s.codec, outFiles, n, len(modes))
 	}
-	return crossMergeN(s.cluster, outFiles, n, len(modes))
+	return crossMergeN(s.cluster, s.codec, outFiles, n, len(modes))
 }
 
 func (s *StagedN) cleanupN(files []string) {

@@ -31,6 +31,7 @@ func ParafacALSN(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Paraf
 		return nil, err
 	}
 	defer s.cleanupN([]string{s.Name})
+	s.SetCodec(opt.Codec)
 	tr := c.Tracer()
 	defer tr.End(tr.Begin("run", "parafacN-als/DRI"))
 
@@ -129,6 +130,7 @@ func TuckerALSN(c *mr.Cluster, x *tensor.Tensor, core []int, opt Options) (*Tuck
 		return nil, err
 	}
 	defer s.cleanupN([]string{s.Name})
+	s.SetCodec(opt.Codec)
 	tr := c.Tracer()
 	defer tr.End(tr.Begin("run", "tuckerN-als/DRI"))
 

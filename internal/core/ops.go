@@ -2,9 +2,16 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/haten2/haten2/internal/mr"
 )
+
+// pairScratchPool recycles the 𝒯″-side accumulator map the
+// PairwiseMerge reducer needs per key (see pairwiseMerge). Pooled
+// because the reducer runs once per distinct (coordinate, r) key and
+// per-call maps dominated the plan's allocation profile.
+var pairScratchPool = sync.Pool{New: func() any { return make(map[[3]int64]float64) }}
 
 // shuffle size of one sval, by provenance: tensor-derived records carry
 // a full coordinate (paper's ⟨i,j,k,v⟩ tuples); matrix cells are small.
@@ -27,7 +34,7 @@ func svalSize(_ [3]int64, v sval) int64 {
 // The result entries are written to outFile with outIdx in mode m's
 // position, so Q single-column results assemble into the 3-way
 // intermediate 𝒯 without a separate job.
-func naiveContract(c *mr.Cluster, inFiles []string, dims [3]int64, m int, vecFile string, vecLen int64, outIdx int64, fibers [][2]int64, outFile string) ([]Entry, error) {
+func naiveContract(c *mr.Cluster, codec Codec, inFiles []string, dims [3]int64, m int, vecFile string, vecLen int64, outIdx int64, fibers [][2]int64, outFile string) ([]Entry, error) {
 	m1, m2 := otherModes(m)
 	// Faithful plan: the vector is copied to all dims[m1]·dims[m2] fiber
 	// keys; we emit len(fibers)·vecLen of those copies for real.
@@ -37,24 +44,16 @@ func naiveContract(c *mr.Cluster, inFiles []string, dims [3]int64, m int, vecFil
 	}
 	inputs := make([]mr.Input[[3]int64, sval], 0, len(inFiles)+1)
 	for _, f := range inFiles {
-		inputs = append(inputs, mr.Input[[3]int64, sval]{
-			File: f,
-			Map: func(rec any, emit func([3]int64, sval)) {
-				e := rec.(Entry)
-				emit([3]int64{e.Idx[m1], e.Idx[m2], 0}, sval{tag: tagTensor, idx: e.Idx, val: e.Val})
-			},
-		})
+		inputs = append(inputs, mr.MapInput(f, func(e Entry, emit func([3]int64, sval)) {
+			emit([3]int64{e.Idx[m1], e.Idx[m2], 0}, sval{tag: tagTensor, idx: e.Idx, val: e.Val})
+		}))
 	}
-	inputs = append(inputs, mr.Input[[3]int64, sval]{
-		File: vecFile,
-		Map: func(rec any, emit func([3]int64, sval)) {
-			cell := rec.(MatEntry)
-			for _, f := range fibers {
-				emit([3]int64{f[0], f[1], 0}, sval{tag: tagMat, idx: [3]int64{cell.Row, 0, 0}, val: cell.Val})
-			}
-		},
-	})
-	out, _, err := mr.Run(c, mr.Job[[3]int64, sval, Entry]{
+	inputs = append(inputs, mr.MapInput(vecFile, func(cell MatEntry, emit func([3]int64, sval)) {
+		for _, f := range fibers {
+			emit([3]int64{f[0], f[1], 0}, sval{tag: tagMat, idx: [3]int64{cell.Row, 0, 0}, val: cell.Val})
+		}
+	}))
+	job := mr.Job[[3]int64, sval, Entry]{
 		Name:   fmt.Sprintf("naive-contract(mode=%d)", m),
 		Inputs: inputs,
 		Reduce: func(key [3]int64, vals []sval, emit func(Entry)) {
@@ -79,12 +78,16 @@ func naiveContract(c *mr.Cluster, inFiles []string, dims [3]int64, m int, vecFil
 			emit(Entry{Idx: idx, Val: sum})
 		},
 		Partition:           mr.HashTriple,
-		KVSize:              svalSize,
 		OutSize:             entrySize,
 		Output:              outFile,
 		ExtraShuffleRecords: phantomKeys * vecLen,
-		ExtraShuffleBytes:   phantomKeys * vecLen * matEntryBytes,
-	})
+		// Phantom copies are never materialized, so they have no real
+		// encoding; they stay priced at the fixed MatEntry width under
+		// both codecs (only genuinely encoded records get codec-priced).
+		ExtraShuffleBytes: phantomKeys * vecLen * matEntryBytes,
+	}
+	svalAccounting(&job, codec)
+	out, _, err := mr.Run(c, job)
 	return out, err
 }
 
@@ -95,28 +98,20 @@ func naiveContract(c *mr.Cluster, inFiles []string, dims [3]int64, m int, vecFil
 // element. With bin set, tensor values are replaced by 1 first
 // (bin(𝒳) ∗̄_m v, the 𝒯″ side of Lemmas 1 and 2).
 // The result is an order-4 HEntry file carrying colIdx as the new mode.
-func hadamardVec(c *mr.Cluster, inFile string, m int, colIdx int32, vecFile string, bin bool, outFile string) error {
-	_, _, err := mr.Run(c, mr.Job[[3]int64, sval, HEntry]{
+func hadamardVec(c *mr.Cluster, codec Codec, inFile string, m int, colIdx int32, vecFile string, bin bool, outFile string) error {
+	job := mr.Job[[3]int64, sval, HEntry]{
 		Name: fmt.Sprintf("hadamard(%s,mode=%d,col=%d)", inFile, m, colIdx),
 		Inputs: []mr.Input[[3]int64, sval]{
-			{
-				File: inFile,
-				Map: func(rec any, emit func([3]int64, sval)) {
-					e := rec.(Entry)
-					v := e.Val
-					if bin {
-						v = 1
-					}
-					emit([3]int64{e.Idx[m], 0, 0}, sval{tag: tagTensor, idx: e.Idx, val: v})
-				},
-			},
-			{
-				File: vecFile,
-				Map: func(rec any, emit func([3]int64, sval)) {
-					cell := rec.(MatEntry)
-					emit([3]int64{cell.Row, 0, 0}, sval{tag: tagMat, val: cell.Val})
-				},
-			},
+			mr.MapInput(inFile, func(e Entry, emit func([3]int64, sval)) {
+				v := e.Val
+				if bin {
+					v = 1
+				}
+				emit([3]int64{e.Idx[m], 0, 0}, sval{tag: tagTensor, idx: e.Idx, val: v})
+			}),
+			mr.MapInput(vecFile, func(cell MatEntry, emit func([3]int64, sval)) {
+				emit([3]int64{cell.Row, 0, 0}, sval{tag: tagMat, val: cell.Val})
+			}),
 		},
 		Reduce: func(key [3]int64, vals []sval, emit func(HEntry)) {
 			var vec float64
@@ -135,10 +130,11 @@ func hadamardVec(c *mr.Cluster, inFile string, m int, colIdx int32, vecFile stri
 			}
 		},
 		Partition: mr.HashTriple,
-		KVSize:    svalSize,
 		OutSize:   hEntrySize,
 		Output:    outFile,
-	})
+	}
+	svalAccounting(&job, codec)
+	_, _, err := mr.Run(c, job)
 	return err
 }
 
@@ -147,19 +143,15 @@ func hadamardVec(c *mr.Cluster, inFile string, m int, colIdx int32, vecFile stri
 // remaining coordinates plus the Hadamard column. The column index takes
 // mode m's place in the output, so Collapse(𝒳 ∗₂ Bᵀ)₂ yields the 3-way
 // 𝒯 = 𝒳 ×₂ Bᵀ directly.
-func collapse(c *mr.Cluster, inFiles []string, m int, outFile string) ([]Entry, error) {
+func collapse(c *mr.Cluster, codec Codec, inFiles []string, m int, outFile string) ([]Entry, error) {
 	m1, m2 := otherModes(m)
 	inputs := make([]mr.Input[[3]int64, sval], len(inFiles))
 	for i, f := range inFiles {
-		inputs[i] = mr.Input[[3]int64, sval]{
-			File: f,
-			Map: func(rec any, emit func([3]int64, sval)) {
-				h := rec.(HEntry)
-				emit([3]int64{h.Idx[m1], h.Idx[m2], int64(h.Col)}, sval{tag: tagTensor, val: h.Val})
-			},
-		}
+		inputs[i] = mr.MapInput(f, func(h HEntry, emit func([3]int64, sval)) {
+			emit([3]int64{h.Idx[m1], h.Idx[m2], int64(h.Col)}, sval{tag: tagTensor, val: h.Val})
+		})
 	}
-	out, _, err := mr.Run(c, mr.Job[[3]int64, sval, Entry]{
+	job := mr.Job[[3]int64, sval, Entry]{
 		Name:   fmt.Sprintf("collapse(mode=%d)", m),
 		Inputs: inputs,
 		Reduce: func(key [3]int64, vals []sval, emit func(Entry)) {
@@ -175,10 +167,11 @@ func collapse(c *mr.Cluster, inFiles []string, m int, outFile string) ([]Entry, 
 			emit(Entry{Idx: idx, Val: sum})
 		},
 		Partition: mr.HashTriple,
-		KVSize:    svalSize,
 		OutSize:   entrySize,
 		Output:    outFile,
-	})
+	}
+	svalAccounting(&job, codec)
+	out, _, err := mr.Run(c, job)
 	return out, err
 }
 
@@ -199,32 +192,20 @@ func taggedHSize(taggedH) int64 { return hEntryBytes }
 // memory, the deliberate memory-for-jobs trade the paper makes — and
 // multiply it against their fiber. The two result tensors are written to
 // t1File and t2File (MultipleOutputs in the Hadoop implementation).
-func imhp(c *mr.Cluster, xFile string, m1 int, bFile string, m2 int, cFile string, t1File, t2File string) error {
-	out, _, err := mr.Run(c, mr.Job[[3]int64, sval, taggedH]{
+func imhp(c *mr.Cluster, codec Codec, xFile string, m1 int, bFile string, m2 int, cFile string, t1File, t2File string) error {
+	job := mr.Job[[3]int64, sval, taggedH]{
 		Name: fmt.Sprintf("imhp(%s,%d,%d)", xFile, m1, m2),
 		Inputs: []mr.Input[[3]int64, sval]{
-			{
-				File: xFile,
-				Map: func(rec any, emit func([3]int64, sval)) {
-					e := rec.(Entry)
-					emit([3]int64{1, e.Idx[m1], 0}, sval{tag: tagT1, idx: e.Idx, val: e.Val})
-					emit([3]int64{2, e.Idx[m2], 0}, sval{tag: tagT2, idx: e.Idx, val: 1})
-				},
-			},
-			{
-				File: bFile,
-				Map: func(rec any, emit func([3]int64, sval)) {
-					cell := rec.(MatEntry)
-					emit([3]int64{1, cell.Row, 0}, sval{tag: tagMat, col: cell.Col, val: cell.Val})
-				},
-			},
-			{
-				File: cFile,
-				Map: func(rec any, emit func([3]int64, sval)) {
-					cell := rec.(MatEntry)
-					emit([3]int64{2, cell.Row, 0}, sval{tag: tagMat, col: cell.Col, val: cell.Val})
-				},
-			},
+			mr.MapInput(xFile, func(e Entry, emit func([3]int64, sval)) {
+				emit([3]int64{1, e.Idx[m1], 0}, sval{tag: tagT1, idx: e.Idx, val: e.Val})
+				emit([3]int64{2, e.Idx[m2], 0}, sval{tag: tagT2, idx: e.Idx, val: 1})
+			}),
+			mr.MapInput(bFile, func(cell MatEntry, emit func([3]int64, sval)) {
+				emit([3]int64{1, cell.Row, 0}, sval{tag: tagMat, col: cell.Col, val: cell.Val})
+			}),
+			mr.MapInput(cFile, func(cell MatEntry, emit func([3]int64, sval)) {
+				emit([3]int64{2, cell.Row, 0}, sval{tag: tagMat, col: cell.Col, val: cell.Val})
+			}),
 		},
 		Reduce: func(key [3]int64, vals []sval, emit func(taggedH)) {
 			side := uint8(key[0])
@@ -249,15 +230,24 @@ func imhp(c *mr.Cluster, xFile string, m1 int, bFile string, m2 int, cFile strin
 			}
 		},
 		Partition: mr.HashTriple,
-		KVSize:    svalSize,
 		OutSize:   taggedHSize,
-	})
+	}
+	svalAccounting(&job, codec)
+	out, _, err := mr.Run(c, job)
 	if err != nil {
 		return err
 	}
 	// MultipleOutputs: split the tagged stream into the two intermediate
-	// files the merge job consumes.
-	var t1, t2 []HEntry
+	// files the merge job consumes. The stream holds nnz·Q + nnz·R
+	// entries, so count sides first and size both halves exactly.
+	n1 := 0
+	for _, o := range out {
+		if o.side == 1 {
+			n1++
+		}
+	}
+	t1 := mr.Acquire[HEntry](n1)
+	t2 := mr.Acquire[HEntry](len(out) - n1)
 	for _, o := range out {
 		if o.side == 1 {
 			t1 = append(t1, o.h)
@@ -265,10 +255,11 @@ func imhp(c *mr.Cluster, xFile string, m1 int, bFile string, m2 int, cFile strin
 			t2 = append(t2, o.h)
 		}
 	}
-	if err := mr.WriteFile(c, t1File, t1, hEntrySize); err != nil {
+	mr.Recycle(out)
+	if err := mr.WriteFileOwned(c, t1File, t1, hEntrySize); err != nil {
 		return err
 	}
-	return mr.WriteFile(c, t2File, t2, hEntrySize)
+	return mr.WriteFileOwned(c, t2File, t2, hEntrySize)
 }
 
 // crossMerge is CrossMerge(𝒯′, 𝒯″)₍ₙ₎ (Definition 3), the final step of
@@ -277,14 +268,13 @@ func imhp(c *mr.Cluster, xFile string, m1 int, bFile string, m2 int, cFile strin
 // nnz(𝒳)(Q+R) records, the Table III bound — and each reducer holds one
 // tensor slice (nnz(𝒳ᵢ::)(Q+R) memory) and forms all Q·R combinations
 // locally.
-func crossMerge(c *mr.Cluster, t1Files, t2Files []string, n int) ([]YEntry, error) {
-	mapSide := func(tag uint8) func(rec any, emit func([3]int64, sval)) {
-		return func(rec any, emit func([3]int64, sval)) {
-			h := rec.(HEntry)
+func crossMerge(c *mr.Cluster, codec Codec, t1Files, t2Files []string, n int) ([]YEntry, error) {
+	mapSide := func(tag uint8) func(h HEntry, emit func([3]int64, sval)) {
+		return func(h HEntry, emit func([3]int64, sval)) {
 			emit([3]int64{h.Idx[n], 0, 0}, sval{tag: tag, idx: h.Idx, col: h.Col, val: h.Val})
 		}
 	}
-	out, _, err := mr.Run(c, mr.Job[[3]int64, sval, YEntry]{
+	job := mr.Job[[3]int64, sval, YEntry]{
 		Name:   fmt.Sprintf("crossmerge(mode=%d)", n),
 		Inputs: sideInputs(t1Files, t2Files, mapSide),
 		Reduce: func(key [3]int64, vals []sval, emit func(YEntry)) {
@@ -335,9 +325,10 @@ func crossMerge(c *mr.Cluster, t1Files, t2Files []string, n int) ([]YEntry, erro
 			}
 		},
 		Partition: mr.HashTriple,
-		KVSize:    svalSize,
 		OutSize:   yEntrySize,
-	})
+	}
+	svalAccounting(&job, codec)
+	out, _, err := mr.Run(c, job)
 	return out, err
 }
 
@@ -346,18 +337,22 @@ func crossMerge(c *mr.Cluster, t1Files, t2Files []string, n int) ([]YEntry, erro
 // Records are shuffled on (mode-n coordinate, r) — 2·nnz(𝒳)·R records,
 // the Table IV bound — and reducers pair the two sides on their original
 // coordinate.
-func pairwiseMerge(c *mr.Cluster, t1Files, t2Files []string, n int) ([]YEntry, error) {
-	mapSide := func(tag uint8) func(rec any, emit func([3]int64, sval)) {
-		return func(rec any, emit func([3]int64, sval)) {
-			h := rec.(HEntry)
+func pairwiseMerge(c *mr.Cluster, codec Codec, t1Files, t2Files []string, n int) ([]YEntry, error) {
+	mapSide := func(tag uint8) func(h HEntry, emit func([3]int64, sval)) {
+		return func(h HEntry, emit func([3]int64, sval)) {
 			emit([3]int64{h.Idx[n], int64(h.Col), 0}, sval{tag: tag, idx: h.Idx, val: h.Val})
 		}
 	}
-	out, _, err := mr.Run(c, mr.Job[[3]int64, sval, YEntry]{
+	job := mr.Job[[3]int64, sval, YEntry]{
 		Name:   fmt.Sprintf("pairwisemerge(mode=%d)", n),
 		Inputs: sideInputs(t1Files, t2Files, mapSide),
 		Reduce: func(key [3]int64, vals []sval, emit func(YEntry)) {
-			t2 := make(map[[3]int64]float64)
+			// One scratch map per in-flight reduce call, recycled via the
+			// pool: this reducer runs once per (coordinate, r) key —
+			// millions of calls per ALS iteration — and a fresh map per
+			// call was the plan's dominant allocation.
+			t2 := pairScratchPool.Get().(map[[3]int64]float64)
+			defer func() { clear(t2); pairScratchPool.Put(t2) }()
 			for _, v := range vals {
 				if v.tag == tagT2 {
 					t2[v.idx] += v.val
@@ -376,21 +371,22 @@ func pairwiseMerge(c *mr.Cluster, t1Files, t2Files []string, n int) ([]YEntry, e
 			emit(YEntry{I: key[0], Q: r, R: r, Val: sum})
 		},
 		Partition: mr.HashTriple,
-		KVSize:    svalSize,
 		OutSize:   yEntrySize,
-	})
+	}
+	svalAccounting(&job, codec)
+	out, _, err := mr.Run(c, job)
 	return out, err
 }
 
 // sideInputs builds the merge-job input list: every 𝒯′ file mapped with
 // the tagT1 mapper and every 𝒯″ file with the tagT2 mapper.
-func sideInputs(t1Files, t2Files []string, mapSide func(uint8) func(rec any, emit func([3]int64, sval))) []mr.Input[[3]int64, sval] {
+func sideInputs(t1Files, t2Files []string, mapSide func(uint8) func(h HEntry, emit func([3]int64, sval))) []mr.Input[[3]int64, sval] {
 	inputs := make([]mr.Input[[3]int64, sval], 0, len(t1Files)+len(t2Files))
 	for _, f := range t1Files {
-		inputs = append(inputs, mr.Input[[3]int64, sval]{File: f, Map: mapSide(tagT1)})
+		inputs = append(inputs, mr.MapInput(f, mapSide(tagT1)))
 	}
 	for _, f := range t2Files {
-		inputs = append(inputs, mr.Input[[3]int64, sval]{File: f, Map: mapSide(tagT2)})
+		inputs = append(inputs, mr.MapInput(f, mapSide(tagT2)))
 	}
 	return inputs
 }

@@ -43,6 +43,11 @@ type Options struct {
 	// restarted on a new cluster sharing the same FS
 	// (mr.NewClusterWithFS) and converges to the bit-identical result.
 	Checkpoint string
+	// Codec selects the shuffle wire format for every job of the run:
+	// CodecColumnar (the default, varint-delta column blocks) or
+	// CodecFixed (the per-record fallback). It affects byte accounting
+	// only — factor outputs are bit-identical under both.
+	Codec Codec
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +96,7 @@ func ParafacALS(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Parafa
 // parafacALSStaged runs ALS against an already-staged tensor. x is the
 // in-memory copy used only for fit evaluation.
 func parafacALSStaged(s *Staged, x *tensor.Tensor, rank int, opt Options) (*ParafacResult, error) {
+	s.SetCodec(opt.Codec)
 	tr := s.cluster.Tracer()
 	defer tr.End(tr.Begin("run", "parafac-als/"+opt.Variant.String()))
 	rng := rand.New(rand.NewSource(opt.Seed))

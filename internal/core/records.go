@@ -101,7 +101,16 @@ type Staged struct {
 	// fibers[m] caches the distinct coordinate pairs of modes ≠ m, i.e.
 	// the reducer keys of the Naive plan's broadcast for mode m.
 	fibers [3][][2]int64
+	// codec selects the shuffle wire format of the jobs run against this
+	// tensor (CodecColumnar unless overridden via SetCodec).
+	codec Codec
 }
+
+// SetCodec selects the shuffle codec for subsequent jobs run against
+// this staged tensor. The codec only changes shuffle byte accounting
+// (and hence trace/exhaustion behavior), never results: plans, routing
+// and reduce orders are codec-independent.
+func (s *Staged) SetCodec(c Codec) { s.codec = c }
 
 // Stage writes a coalesced 3-way tensor to the cluster DFS under name
 // and returns its handle. Decomposition drivers and benchmarks stage the

@@ -49,6 +49,7 @@ func TuckerALS(c *mr.Cluster, x *tensor.Tensor, core [3]int, opt Options) (*Tuck
 }
 
 func tuckerALSStaged(s *Staged, x *tensor.Tensor, core [3]int, opt Options) (*TuckerResult, error) {
+	s.SetCodec(opt.Codec)
 	tr := s.cluster.Tracer()
 	defer tr.End(tr.Begin("run", "tucker-als/"+opt.Variant.String()))
 	rng := rand.New(rand.NewSource(opt.Seed))

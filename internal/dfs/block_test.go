@@ -1,0 +1,121 @@
+package dfs
+
+import (
+	"testing"
+)
+
+func TestBlockWriteAndView(t *testing.T) {
+	fs := New(Options{})
+	w, err := fs.Create("blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []int64{10, 20, 30, 40}
+	w.AppendBlock(payload, len(payload), 32)
+	w.Close()
+
+	got, n, ok, err := fs.BlockView("blk")
+	if err != nil || !ok {
+		t.Fatalf("BlockView: ok=%v err=%v", ok, err)
+	}
+	if n != 4 {
+		t.Fatalf("count = %d, want 4", n)
+	}
+	s, isTyped := got.([]int64)
+	if !isTyped || len(s) != 4 || s[2] != 30 {
+		t.Fatalf("payload = %#v", got)
+	}
+	if sz, _ := fs.Size("blk"); sz != 32 {
+		t.Fatalf("Size = %d, want 32", sz)
+	}
+	if nr, _ := fs.NumRecords("blk"); nr != 4 {
+		t.Fatalf("NumRecords = %d, want 4", nr)
+	}
+	st := fs.Stats()
+	if st.BytesWritten != 32 || st.RecordsWritten != 4 {
+		t.Fatalf("write stats = %+v", st)
+	}
+	if st.BytesRead != 32 || st.RecordsRead != 4 {
+		t.Fatalf("read stats = %+v", st)
+	}
+}
+
+// A block-written file must still serve per-record readers: the boxed
+// view is materialized lazily, sizes summing exactly to the block size.
+func TestBlockMaterializesForRecordReaders(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("blk")
+	w.AppendBlock([]string{"a", "b", "c"}, 3, 10)
+	w.Close()
+
+	recs, err := fs.ReadAll("blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	var total int64
+	for _, r := range recs {
+		total += r.Size
+	}
+	if total != 10 {
+		t.Fatalf("record sizes sum to %d, want 10", total)
+	}
+	if recs[1].Data.(string) != "b" {
+		t.Fatalf("recs[1] = %#v", recs[1])
+	}
+
+	// SplitRanges works off the same materialized view.
+	splits, bounds, err := fs.SplitRanges("blk", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 || bounds[len(bounds)-1] != 3 {
+		t.Fatalf("splits=%d bounds=%v", len(splits), bounds)
+	}
+}
+
+func TestBlockViewOnRecordFile(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("rec")
+	w.Append("x", 4)
+	w.Close()
+	before := fs.Stats().BytesRead
+	_, _, ok, err := fs.BlockView("rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("BlockView reported a per-record file as a block")
+	}
+	if fs.Stats().BytesRead != before {
+		t.Fatal("failed BlockView charged a read")
+	}
+	if _, _, _, err := fs.BlockView("absent"); err == nil {
+		t.Fatal("BlockView on absent file did not error")
+	}
+}
+
+func TestBlockWriteMixingPanics(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("a")
+	w.AppendBlock([]int{1}, 1, 8)
+	mustPanic(t, "Append after AppendBlock", func() { w.Append(2, 8) })
+	mustPanic(t, "second AppendBlock", func() { w.AppendBlock([]int{2}, 1, 8) })
+	w2, _ := fs.Create("b")
+	w2.Append(1, 8)
+	mustPanic(t, "AppendBlock after Append", func() { w2.AppendBlock([]int{2}, 1, 8) })
+	w3, _ := fs.Create("c")
+	mustPanic(t, "count mismatch", func() { w3.AppendBlock([]int{1, 2}, 3, 8) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

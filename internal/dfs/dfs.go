@@ -12,6 +12,7 @@ package dfs
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 )
@@ -61,8 +62,34 @@ func (s *Stats) Add(other Stats) {
 }
 
 type file struct {
+	// records holds the per-record view. For block-written files it is
+	// materialized lazily (with boxing) the first time a per-record
+	// reader asks for it; typed readers never pay that cost.
 	records []Record
-	bytes   int64
+	// typed is the payload of a block-written file: a []T slice stored
+	// as written, with no per-record boxing. nil for per-record files.
+	typed any
+	count int
+	bytes int64
+}
+
+// materialize builds the boxed per-record view of a block-written file.
+// Called with fs.mu held. Per-record sizes are the block's bytes spread
+// uniformly (the block never carried per-record sizes), with the
+// remainder charged to the last record so the total is exact.
+func (f *file) materialize() {
+	if f.typed == nil || f.records != nil || f.count == 0 {
+		return
+	}
+	rv := reflect.ValueOf(f.typed)
+	n := rv.Len()
+	recs := make([]Record, n)
+	per := f.bytes / int64(n)
+	for i := 0; i < n; i++ {
+		recs[i] = Record{Data: rv.Index(i).Interface(), Size: per}
+	}
+	recs[n-1].Size += f.bytes - per*int64(n)
+	f.records = recs
 }
 
 // FS is a simulated distributed file system. All methods are safe for
@@ -141,7 +168,11 @@ func (w *Writer) Append(data any, size int64) {
 	if w.done {
 		panic("dfs: Append on a closed or aborted writer")
 	}
+	if w.f.typed != nil {
+		panic("dfs: Append on a block-written file")
+	}
 	w.f.records = append(w.f.records, Record{Data: data, Size: size})
+	w.f.count++
 	w.f.bytes += size
 	w.fs.stats.BytesWritten += size
 	w.fs.stats.BytesReplWrite += size * int64(w.fs.opts.Replication)
@@ -155,13 +186,44 @@ func (w *Writer) AppendAll(recs []Record) {
 	if w.done {
 		panic("dfs: AppendAll on a closed or aborted writer")
 	}
+	if w.f.typed != nil {
+		panic("dfs: AppendAll on a block-written file")
+	}
 	w.f.records = append(w.f.records, recs...)
+	w.f.count += len(recs)
 	for _, r := range recs {
 		w.f.bytes += r.Size
 		w.fs.stats.BytesWritten += r.Size
 		w.fs.stats.BytesReplWrite += r.Size * int64(w.fs.opts.Replication)
 	}
 	w.fs.stats.RecordsWritten += int64(len(recs))
+}
+
+// AppendBlock stores a file's contents as one typed block: payload must
+// be a []T slice of count records charging size bytes in total. The
+// payload is stored as-is — no per-record boxing — and handed back
+// verbatim by BlockView, so ownership transfers to the file system:
+// the caller must not mutate (or return to a pool) the slice after the
+// call. A file holds at most one block, and block and per-record writes
+// cannot be mixed; violating either panics, like the write-once rules.
+func (w *Writer) AppendBlock(payload any, count int, size int64) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.done {
+		panic("dfs: AppendBlock on a closed or aborted writer")
+	}
+	if w.f.typed != nil || len(w.f.records) > 0 {
+		panic("dfs: AppendBlock on a non-empty file")
+	}
+	if rv := reflect.ValueOf(payload); rv.Kind() != reflect.Slice || rv.Len() != count {
+		panic(fmt.Sprintf("dfs: AppendBlock payload must be a slice of %d records", count))
+	}
+	w.f.typed = payload
+	w.f.count = count
+	w.f.bytes += size
+	w.fs.stats.BytesWritten += size
+	w.fs.stats.BytesReplWrite += size * int64(w.fs.opts.Replication)
+	w.fs.stats.RecordsWritten += int64(count)
 }
 
 // Close atomically publishes the file and charges block-level
@@ -207,9 +269,33 @@ func (fs *FS) ReadAll(name string) ([]Record, error) {
 	if !ok {
 		return nil, &ErrNotExist{Name: name}
 	}
+	f.materialize()
 	fs.stats.BytesRead += f.bytes
-	fs.stats.RecordsRead += int64(len(f.records))
+	fs.stats.RecordsRead += int64(f.count)
 	return f.records, nil
+}
+
+// BlockView returns the typed payload of a block-written file — the []T
+// slice AppendBlock stored, with no per-record boxing — charging one
+// full read. ok is false (with no read charged) when the file was
+// written per-record; callers then fall back to ReadAll or SplitRanges.
+//
+// The payload is a borrowed view of file storage: callers must treat it
+// as read-only and must not return it to a buffer pool. It stays valid
+// until the file is deleted.
+func (fs *FS) BlockView(name string) (payload any, count int, ok bool, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, exists := fs.files[name]
+	if !exists {
+		return nil, 0, false, &ErrNotExist{Name: name}
+	}
+	if f.typed == nil {
+		return nil, 0, false, nil
+	}
+	fs.stats.BytesRead += f.bytes
+	fs.stats.RecordsRead += int64(f.count)
+	return f.typed, f.count, true, nil
 }
 
 // SplitRanges partitions a file into n contiguous input splits without
@@ -274,7 +360,7 @@ func (fs *FS) NumRecords(name string) (int, error) {
 	if !ok {
 		return 0, &ErrNotExist{Name: name}
 	}
-	return len(f.records), nil
+	return f.count, nil
 }
 
 // Exists reports whether a file is present.

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DFSBorrow polices the ownership boundary between the engine's buffer
+// pools and the simulated DFS that shuffle v2's zero-copy paths opened
+// up. AppendBlock transfers a slice's ownership *to* the file system
+// (readers borrow it through BlockView and MapInput), and BlockView
+// lends a payload *out* without transferring anything. Either way the
+// local function no longer owns the storage, so handing it to
+// putSlice/Recycle would let the pools recycle bytes a DFS file still
+// serves — silent data corruption the determinism tests only catch long
+// after the fact, if at all. The one sanctioned exception is
+// WriteFileOwned's replace path, which reclaims the payload of a file
+// it is about to delete; that site carries a //haten2:allow with the
+// argument for why no live borrow can exist.
+var DFSBorrow = &Analyzer{
+	Name: "dfsborrow",
+	Doc:  "slices owned by or borrowed from the DFS (AppendBlock/BlockView) are not returned to the buffer pools",
+	Run:  runDFSBorrow,
+}
+
+func runDFSBorrow(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDFSBorrow(p, fd)
+		}
+	}
+}
+
+func checkDFSBorrow(p *Pass, fd *ast.FuncDecl) {
+	// Pass 1: seed the tainted set with values crossing the DFS
+	// ownership boundary — every identifier assigned from a BlockView
+	// call and every identifier handed to AppendBlock.
+	tainted := map[types.Object]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && isDFSCall(p, n.Rhs[0], "BlockView") {
+				for _, lhs := range n.Lhs {
+					if obj := identObj(p, lhs); obj != nil {
+						tainted[obj] = lhs.Pos()
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "AppendBlock" {
+				for _, arg := range n.Args {
+					if obj := identObj(p, arg); obj != nil {
+						tainted[obj] = arg.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+	// Pass 2: propagate through aliasing assignments (type assertions,
+	// reslices, plain copies) to a fixpoint — `old, isT :=
+	// payload.([]T)` must carry payload's taint into old.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				src := taintSource(p, rhs, tainted)
+				if src == 0 {
+					continue
+				}
+				lhs := as.Lhs[min(i, len(as.Lhs)-1)]
+				if obj := identObj(p, lhs); obj != nil {
+					if _, seen := tainted[obj]; !seen {
+						tainted[obj] = src
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Pass 3: flag pool releases of tainted values.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolRelease(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			for obj := range tainted {
+				if exprMentions(p, []ast.Expr{arg}, obj) {
+					p.Reportf(call.Pos(),
+						"slice %s aliases DFS block storage (AppendBlock/BlockView): recycling it lets the pools reuse bytes a file still serves",
+						obj.Name())
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isDFSCall matches a call to a method with the given name (BlockView
+// lives on *dfs.FS; matching by selector keeps the check independent of
+// how callers reach the file system).
+func isDFSCall(p *Pass, e ast.Expr, method string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == method
+}
+
+// taintSource reports the position of the tainted object rhs aliases,
+// or 0. Aliasing follows the same shapes as poolreturn's escape check:
+// identifiers, type assertions, reslices, address-taking.
+func taintSource(p *Pass, rhs ast.Expr, tainted map[types.Object]token.Pos) token.Pos {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[e]; obj != nil {
+			if pos, ok := tainted[obj]; ok {
+				return pos
+			}
+		}
+	case *ast.TypeAssertExpr:
+		return taintSource(p, e.X, tainted)
+	case *ast.SliceExpr:
+		return taintSource(p, e.X, tainted)
+	case *ast.UnaryExpr:
+		return taintSource(p, e.X, tainted)
+	case *ast.StarExpr:
+		return taintSource(p, e.X, tainted)
+	}
+	return 0
+}
+
+// isPoolRelease matches the typed-pool release calls: the mr-internal
+// putSlice and the exported mr.Recycle.
+func isPoolRelease(p *Pass, call *ast.CallExpr) bool {
+	fn := p.FuncFor(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	name := fn.Name()
+	return (name == "putSlice" || name == "Recycle") && fn.Pkg().Name() == "mr"
+}
+
+// identObj resolves an identifier expression to its object (nil for
+// blanks and non-identifiers).
+func identObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}

@@ -133,6 +133,7 @@ func Analyzers() []*Analyzer {
 		UnseededRand,
 		ErrcheckIO,
 		PoolReturn,
+		DFSBorrow,
 	}
 }
 

@@ -17,7 +17,11 @@ import (
 // getGroupArena, getCombineScratch, getBuf, or a raw sync.Pool Get)
 // must, somewhere in the same outermost function, be passed to the
 // matching return call, be returned to the caller, or escape into
-// another location (whose owner then carries the obligation).
+// another location (whose owner then carries the obligation). The
+// shuffle-v2 codec pools widened the surface: core's per-reduce scratch
+// maps come from a raw sync.Pool behind a type assertion, and plans
+// borrow engine slabs through the exported mr.Acquire/mr.Recycle pair,
+// so both shapes are tracked here too.
 var PoolReturn = &Analyzer{
 	Name: "poolreturn",
 	Doc:  "every pool acquisition in internal/mr and internal/obs has a matching return",
@@ -34,8 +38,14 @@ var poolKinds = map[string]string{
 	"getBuf":            "putBuf",
 }
 
-// poolPackages are the package names holding pooled buffers.
-var poolPackages = map[string]bool{"mr": true, "obs": true}
+// crossPoolKinds maps mr's exported pool API, usable from any package.
+var crossPoolKinds = map[string]string{
+	"Acquire": "Recycle",
+}
+
+// poolPackages are the package names holding (or borrowing) pooled
+// buffers: the engine, the trace exporter, and core's codec scratch.
+var poolPackages = map[string]bool{"mr": true, "obs": true, "core": true}
 
 func runPoolReturn(p *Pass) {
 	if !poolPackages[p.Pkg.Pkg.Name()] {
@@ -70,7 +80,13 @@ func checkPoolBalance(p *Pass, fd *ast.FuncDecl) {
 		if !ok || id.Name == "_" {
 			return true
 		}
-		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		rhs := ast.Unparen(as.Rhs[0])
+		// A raw sync.Pool acquisition is idiomatically type-asserted in
+		// the same expression: p.Get().(T).
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ast.Unparen(ta.X)
+		}
+		call, ok := rhs.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
@@ -101,6 +117,9 @@ func checkPoolBalance(p *Pass, fd *ast.FuncDecl) {
 func acquisitionPut(p *Pass, call *ast.CallExpr) string {
 	if fn := p.FuncFor(call); fn != nil {
 		if put, ok := poolKinds[fn.Name()]; ok && fn.Pkg() == p.Pkg.Pkg {
+			return put
+		}
+		if put, ok := crossPoolKinds[fn.Name()]; ok && fn.Pkg() != nil && fn.Pkg().Name() == "mr" {
 			return put
 		}
 	}
@@ -195,7 +214,13 @@ func isReleaseCall(p *Pass, call *ast.CallExpr, put string) bool {
 		return ok && sel.Sel.Name == "Put" && isSyncPool(p.TypeOf(sel.X))
 	}
 	fn := p.FuncFor(call)
-	return fn != nil && fn.Name() == put && fn.Pkg() == p.Pkg.Pkg
+	if fn == nil || fn.Name() != put {
+		return false
+	}
+	if _, cross := crossPoolKinds["Acquire"]; cross && put == "Recycle" {
+		return fn.Pkg() != nil && fn.Pkg().Name() == "mr"
+	}
+	return fn.Pkg() == p.Pkg.Pkg
 }
 
 // exprMentions reports whether any expression references obj.

@@ -1,0 +1,84 @@
+// Fixture mirroring the DFS ownership boundary (internal/mr's
+// helpers.go and job.go): slices handed to AppendBlock or borrowed via
+// BlockView must not flow into the typed buffer pools.
+package mr
+
+type fs struct{}
+
+func (fs) BlockView(name string) (any, int, bool, error) { return nil, 0, false, nil }
+
+type writer struct{}
+
+func (writer) AppendBlock(payload any, count int, size int64) {}
+
+func putSlice[T any](s []T) {}
+
+// Recycle mirrors mr.Recycle (same package name, so the release
+// matcher treats it as the exported pool API).
+func Recycle[T any](s []T) { putSlice(s) }
+
+var theFS fs
+var theWriter writer
+
+// flaggedBlockView recycles a payload the DFS only lent out.
+func flaggedBlockView(name string) {
+	payload, _, ok, _ := theFS.BlockView(name)
+	if !ok {
+		return
+	}
+	if s, isT := payload.([]int64); isT {
+		putSlice(s) // want "slice s aliases DFS block storage"
+	}
+}
+
+// flaggedRecycleAfterAppend recycles a slice whose ownership already
+// transferred to the file system.
+func flaggedRecycleAfterAppend(items []int64) {
+	theWriter.AppendBlock(items, len(items), 8*int64(len(items)))
+	Recycle(items) // want "slice items aliases DFS block storage"
+}
+
+// flaggedResliceAlias recycles through a reslice of the borrowed value.
+func flaggedResliceAlias(name string, n int) {
+	payload, _, ok, _ := theFS.BlockView(name)
+	if !ok {
+		return
+	}
+	s, isT := payload.([]int64)
+	if !isT {
+		return
+	}
+	head := s[:n]
+	putSlice(head) // want "slice head aliases DFS block storage"
+}
+
+// okCopyThenRecycle recycles a fresh copy, not the borrowed payload.
+func okCopyThenRecycle(name string) {
+	payload, n, ok, _ := theFS.BlockView(name)
+	if !ok {
+		return
+	}
+	if s, isT := payload.([]int64); isT {
+		out := make([]int64, n)
+		copy(out, s)
+		putSlice(out)
+	}
+}
+
+// okOwnedWrite hands a slice to the DFS and never touches it again.
+func okOwnedWrite(items []int64) {
+	theWriter.AppendBlock(items, len(items), 8*int64(len(items)))
+}
+
+// okSuppressed is the sanctioned replace-reclaim shape: the allow
+// comment carries the justification.
+func okSuppressed(name string) {
+	payload, _, ok, _ := theFS.BlockView(name)
+	if !ok {
+		return
+	}
+	if s, isT := payload.([]int64); isT {
+		//haten2:allow dfsborrow the file is deleted immediately after, no live borrows
+		putSlice(s)
+	}
+}

@@ -1,0 +1,3 @@
+module fixture.example/dfsborrow
+
+go 1.22

@@ -1,0 +1,66 @@
+// Fixture for the shuffle-v2 pool shapes: raw sync.Pool acquisitions
+// behind a type assertion (core's codec scratch maps) and the exported
+// Acquire/Recycle slab API.
+package mr
+
+import "sync"
+
+var codecScratchPool = sync.Pool{New: func() any { return make(map[[3]int64]float64) }}
+
+// Acquire mirrors mr.Acquire; the package is named mr, so the
+// cross-package kind table applies to it.
+func Acquire[T any](n int) []T { return make([]T, 0, n) }
+
+// Recycle mirrors mr.Recycle.
+func Recycle[T any](s []T) {}
+
+// flaggedAssertedGet leaks a type-asserted sync.Pool acquisition.
+func flaggedAssertedGet(keys [][3]int64) {
+	t := codecScratchPool.Get().(map[[3]int64]float64) // want "pooled buffer t is acquired but never returned with Put"
+	for _, k := range keys {
+		t[k]++
+	}
+	println(len(t))
+}
+
+// okAssertedGetDeferredPut is the codec-scratch idiom: clear and return
+// in a deferred closure.
+func okAssertedGetDeferredPut(keys [][3]int64) int {
+	t := codecScratchPool.Get().(map[[3]int64]float64)
+	defer func() {
+		clear(t)
+		codecScratchPool.Put(t)
+	}()
+	for _, k := range keys {
+		t[k]++
+	}
+	return len(t)
+}
+
+// flaggedAcquireLeak drops an engine slab on the floor.
+func flaggedAcquireLeak(n int) {
+	s := Acquire[int64](n) // want "pooled buffer s is acquired but never returned with Recycle"
+	println(cap(s))
+}
+
+// okAcquireRecycle closes the slab loop.
+func okAcquireRecycle(n int) {
+	s := Acquire[int64](n)
+	for i := 0; i < n; i++ {
+		s = append(s, int64(i))
+	}
+	Recycle(s)
+}
+
+// okAcquireEscapes hands the slab to a sink that now owns it (the
+// WriteFileOwned pattern: the error-checked call receives the slab and
+// the obligation transfers with it).
+func okAcquireEscapes(n int) error {
+	s := Acquire[int64](n)
+	if err := sink(s); err != nil {
+		return err
+	}
+	return nil
+}
+
+func sink(s []int64) error { return nil }

@@ -33,12 +33,11 @@ func shuffleAllocJob(c *mr.Cluster, name string) (mr.Job[int64, int64, int64], i
 	}
 	job := mr.Job[int64, int64, int64]{
 		Name: name,
-		Inputs: []mr.Input[int64, int64]{{File: "in-" + name, Map: func(r any, emit func(int64, int64)) {
-			v := r.(int64)
+		Inputs: []mr.Input[int64, int64]{mr.MapInput("in-"+name, func(v int64, emit func(int64, int64)) {
 			for j := int64(0); j < 4; j++ {
 				emit((v*4+j)%16384, v)
 			}
-		}}},
+		})},
 		Reduce: func(k int64, vs []int64, emit func(int64)) {
 			var s int64
 			for _, v := range vs {

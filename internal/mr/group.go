@@ -1,37 +1,48 @@
 package mr
 
-// The reducer's grouping stage is the engine's allocation hot spot. The
-// original implementation grouped each reduce partition into a
-// map[K][]V, growing one heap-allocated value slice per distinct key —
-// and HaTen2's dominant job shape (the fiber-keyed DNN/DRN/DRI plans)
-// has one distinct key per nonzero fiber, so every job performed
+import "math/bits"
+
+// The reducer's grouping stage is the engine's allocation and hashing
+// hot spot. The original implementation grouped each reduce partition
+// into a map[K][]V, growing one heap-allocated value slice per distinct
+// key — and HaTen2's dominant job shape (the fiber-keyed DNN/DRN/DRI
+// plans) has one distinct key per nonzero fiber, so every job performed
 // millions of small allocations and an ALS run performed thousands of
 // such jobs. groupArena replaces that with a two-pass counting scheme
 // over a single flat value arena:
 //
 //	pass 1 (count):   walk the partition's buckets in task order,
-//	                  assigning each first-seen key the next slot in a
-//	                  pooled map[K]int32 index and counting its values;
+//	                  assigning each first-seen key the next slot via a
+//	                  pooled open-addressed table and counting its
+//	                  values;
 //	pass 2 (scatter): prefix-sum the counts into per-slot offsets, then
 //	                  walk the buckets again, writing each value into
 //	                  its key's contiguous run of one pooled []V arena.
 //
 // Reduce then receives vals[start:end] subslices of the arena instead
 // of individually allocated slices — zero per-key allocations once the
-// pools are warm. Both passes walk buckets in task order and slots are
-// assigned in first-seen key order, so reduce input order (and
-// therefore floating-point summation order and every byte of output)
-// is identical to the map-based grouping it replaces.
+// pools are warm. Hashing is amortized across the whole shuffle: emit
+// stores the raw partition hash in each pair (job.go), the count pass
+// pushes it through the mix64 finalizer and probes the table on that
+// (the raw hash's bits correlate with the reducer routing mask, so one
+// extra mix keeps probe chains short — but no generic re-hash of the
+// key is needed) and memoizes the resolved slot back into the pair,
+// and the scatter pass reads the memoized slot — zero hash work in
+// pass 2.
+// Both passes walk buckets in task order and slots are assigned in
+// first-seen key order, so reduce input order (and therefore
+// floating-point summation order and every byte of output) is
+// identical to the map-based grouping this replaces.
 //
 // Offsets are int32: a single reduce partition beyond 2³¹ pairs is far
 // outside the simulator's scale (the experiment harness caps whole
 // jobs at millions of shuffle records).
 type groupArena[K comparable, V any] struct {
-	// idx maps a key to its slot, assigned in first-seen order. The map
-	// (the expensive-to-rebuild part) is pooled with the struct.
-	idx map[K]int32
 	// keys holds the distinct keys in slot order.
 	keys []K
+	// hashes holds each slot's stored pair hash, used to re-probe when
+	// the table grows.
+	hashes []uint64
 	// next is, per slot, the value count after the count pass and the
 	// next write cursor during the scatter pass (a cursor that ends at
 	// the slot's end offset).
@@ -43,6 +54,20 @@ type groupArena[K comparable, V any] struct {
 	// vals is the flat value arena, acquired from the []V pool at
 	// layout time and released by putGroupArena.
 	vals []V
+	// table is the open-addressed (linear probing) slot index: entries
+	// hold slot+1, 0 means empty. Always a power of two; mask is
+	// len(table)-1. Pooled with the struct and cleared on release.
+	table []int32
+	mask  uint64
+}
+
+// tableSize returns the power-of-two table length for keyCap distinct
+// keys at a load factor of at most ½.
+func tableSize(keyCap int) int {
+	if keyCap < 8 {
+		keyCap = 8
+	}
+	return 1 << bits.Len(uint(keyCap)*2-1)
 }
 
 // getGroupArena returns an empty grouper from the pool for the key and
@@ -54,11 +79,14 @@ func getGroupArena[K comparable, V any](keyCap int) *groupArena[K, V] {
 	if keyCap < 0 {
 		keyCap = 0
 	}
+	n := tableSize(keyCap)
 	return &groupArena[K, V]{
-		idx:  make(map[K]int32, keyCap),
-		keys: make([]K, 0, keyCap),
-		next: make([]int32, 0, keyCap),
-		ends: make([]int32, 0, keyCap),
+		keys:   make([]K, 0, keyCap),
+		hashes: make([]uint64, 0, keyCap),
+		next:   make([]int32, 0, keyCap),
+		ends:   make([]int32, 0, keyCap),
+		table:  make([]int32, n),
+		mask:   uint64(n - 1),
 	}
 }
 
@@ -67,28 +95,76 @@ func getGroupArena[K comparable, V any](keyCap int) *groupArena[K, V] {
 func putGroupArena[K comparable, V any](g *groupArena[K, V]) {
 	putSlice(g.vals)
 	g.vals = nil
-	clear(g.idx)
 	clear(g.keys) // keys may hold pointers; zero before truncating
 	g.keys = g.keys[:0]
+	g.hashes = g.hashes[:0]
 	g.next = g.next[:0]
 	g.ends = g.ends[:0]
+	clear(g.table)
 	poolFor[*groupArena[K, V]]().Put(g)
 }
 
 // count is pass 1: register bucket's keys in first-seen order and tally
-// their values. Buckets must be offered in task order.
+// their values. Buckets must be offered in task order. Each pair's h
+// (the raw partition hash, finalized here) seeds the table probe and
+// is overwritten with the key's slot for the scatter pass.
 func (g *groupArena[K, V]) count(bucket []pair[K, V]) {
-	for _, p := range bucket {
-		s, ok := g.idx[p.k]
-		if !ok {
-			s = int32(len(g.keys))
-			g.idx[p.k] = s
-			g.keys = append(g.keys, p.k)
-			g.next = append(g.next, 0)
-			g.ends = append(g.ends, 0)
+	// table/mask/keys are reloaded after register, which may grow the
+	// table; between registrations they stay in registers.
+	table, mask, keys := g.table, g.mask, g.keys
+	for i := range bucket {
+		p := &bucket[i]
+		h := mix64(p.h)
+		idx := h & mask
+		var s int32
+		for {
+			t := table[idx]
+			if t == 0 {
+				s = g.register(h, p.k, idx)
+				table, mask, keys = g.table, g.mask, g.keys
+				break
+			}
+			if keys[t-1] == p.k {
+				s = t - 1
+				break
+			}
+			idx = (idx + 1) & mask
 		}
+		p.h = uint64(s)
 		g.next[s]++
 	}
+}
+
+// register assigns the next slot to key k (stored hash h) at the free
+// table index idx, growing the table when it passes ½ load. The table
+// therefore runs at ¼–½ load, trading a little cache footprint for
+// mostly collision-free (and so branch-predictable) probes.
+func (g *groupArena[K, V]) register(h uint64, k K, idx uint64) int32 {
+	s := int32(len(g.keys))
+	g.keys = append(g.keys, k)
+	g.hashes = append(g.hashes, h)
+	g.next = append(g.next, 0)
+	g.ends = append(g.ends, 0)
+	g.table[idx] = s + 1
+	if uint64(len(g.keys))*2 >= uint64(len(g.table)) {
+		g.grow()
+	}
+	return s
+}
+
+// grow doubles the table and re-probes every slot from its stored hash.
+func (g *groupArena[K, V]) grow() {
+	nt := make([]int32, 2*len(g.table))
+	mask := uint64(len(nt) - 1)
+	for s, h := range g.hashes {
+		idx := h & mask
+		for nt[idx] != 0 {
+			idx = (idx + 1) & mask
+		}
+		nt[idx] = int32(s) + 1
+	}
+	g.table = nt
+	g.mask = mask
 }
 
 // layout turns the counts into offsets and acquires the value arena,
@@ -107,15 +183,17 @@ func (g *groupArena[K, V]) layout(arenaCap int) {
 	g.vals = getSlice[V](arenaCap)[:total]
 }
 
-// scatter is pass 2: write bucket's values into their keys' runs.
-// Buckets must be offered in the same task order as count, which makes
-// each run's internal order (map task index, emission order) — exactly
-// the reduce input order of the map-based grouping.
+// scatter is pass 2: write bucket's values into their keys' runs, using
+// the slot count memoized into each pair's h. Buckets must be offered
+// in the same task order as count, which makes each run's internal
+// order (map task index, emission order) — exactly the reduce input
+// order of the map-based grouping.
 func (g *groupArena[K, V]) scatter(bucket []pair[K, V]) {
-	for _, p := range bucket {
-		s := g.idx[p.k]
-		g.vals[g.next[s]] = p.v
-		g.next[s]++
+	vals, next := g.vals, g.next
+	for i := range bucket {
+		s := bucket[i].h
+		vals[next[s]] = bucket[i].v
+		next[s]++
 	}
 }
 

@@ -49,7 +49,7 @@ func TestGroupArenaMatchesMapGrouping(t *testing.T) {
 		for i := range buckets {
 			n := rng.Intn(20)
 			for j := 0; j < n; j++ {
-				buckets[i] = append(buckets[i], pair[string, int]{alphabet[rng.Intn(len(alphabet))], rng.Int()})
+				buckets[i] = append(buckets[i], pair[string, int]{k: alphabet[rng.Intn(len(alphabet))], v: rng.Int()})
 			}
 		}
 		wantKeys, wantVals := refGroup(buckets)
@@ -75,7 +75,7 @@ func TestGroupArenaEmpty(t *testing.T) {
 // overwrite the next key's run in the shared arena.
 func TestGroupArenaAppendSafe(t *testing.T) {
 	buckets := [][]pair[string, int]{{
-		{"x", 1}, {"x", 2}, {"y", 3}, {"y", 4},
+		{k: "x", v: 1}, {k: "x", v: 2}, {k: "y", v: 3}, {k: "y", v: 4},
 	}}
 	g := getGroupArena[string, int](0)
 	for _, b := range buckets {
@@ -97,9 +97,9 @@ func TestGroupArenaAppendSafe(t *testing.T) {
 // state between jobs: keys, counts, and arena contents from a previous
 // use must not leak into the next grouping.
 func TestGroupArenaReuseIsClean(t *testing.T) {
-	first := [][]pair[string, int]{{{"stale", 7}, {"stale", 8}, {"old", 9}}}
+	first := [][]pair[string, int]{{{k: "stale", v: 7}, {k: "stale", v: 8}, {k: "old", v: 9}}}
 	_, _ = runArena(first, 0, 0)
-	second := [][]pair[string, int]{{{"fresh", 1}}}
+	second := [][]pair[string, int]{{{k: "fresh", v: 1}}}
 	keys, vals := runArena(second, 0, 0)
 	if !reflect.DeepEqual(keys, []string{"fresh"}) {
 		t.Fatalf("stale keys survived pooling: %v", keys)
@@ -114,10 +114,10 @@ func TestGroupArenaReuseIsClean(t *testing.T) {
 // scattered across buckets.
 func TestGroupArenaTaskOrder(t *testing.T) {
 	buckets := [][]pair[string, int]{
-		{{"k", 0}, {"j", 100}, {"k", 1}},
+		{{k: "k", v: 0}, {k: "j", v: 100}, {k: "k", v: 1}},
 		{},
-		{{"j", 101}, {"k", 2}},
-		{{"k", 3}},
+		{{k: "j", v: 101}, {k: "k", v: 2}},
+		{{k: "k", v: 3}},
 	}
 	keys, vals := runArena(buckets, 0, 0)
 	if !reflect.DeepEqual(keys, []string{"k", "j"}) {

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/haten2/haten2/internal/dfs"
 )
 
 // Input binds one DFS file to the map function that processes its
@@ -15,8 +17,50 @@ type Input[K comparable, V any] struct {
 	// File is the DFS file to read.
 	File string
 	// Map is called once per record; it may emit any number of
-	// intermediate key/value pairs.
+	// intermediate key/value pairs. Every record crosses the interface
+	// boxed as `any`; use MapInput to build a typed input that avoids
+	// the per-record box and assert.
 	Map func(rec any, emit func(K, V))
+	// run, when non-nil, is the despecialized fast path built by
+	// MapInput: it maps records lo..hi of a typed block payload (a []R
+	// borrowed from the DFS) with a single type assertion per split
+	// instead of one per record. Inputs whose file was written
+	// per-record fall back to Map.
+	run func(payload any, lo, hi int, emit func(K, V))
+}
+
+// MapInput binds a DFS file to a typed map function. When the file was
+// block-written (WriteFile, job outputs), records flow to m straight
+// from the file's typed []R payload — no per-record boxing, one type
+// assertion per split. For per-record files the returned input behaves
+// exactly like a hand-written Input.Map that asserts rec.(R).
+func MapInput[R any, K comparable, V any](file string, m func(R, func(K, V))) Input[K, V] {
+	return Input[K, V]{
+		File: file,
+		Map: func(rec any, emit func(K, V)) {
+			m(rec.(R), emit)
+		},
+		run: func(payload any, lo, hi int, emit func(K, V)) {
+			for _, r := range payload.([]R)[lo:hi] {
+				m(r, emit)
+			}
+		},
+	}
+}
+
+// BlockSizer accounts the encoded size of one shuffle partition block
+// incrementally, so the engine can charge real columnar-codec bytes at
+// emit time without materializing the block. Pair returns the bytes
+// record (k, v) adds to a block whose previous record is (prevK,
+// prevV); the first record of a block is sized against zero-valued
+// prev (delta-from-zero, exactly what the codec writes). Header
+// returns the block header size for a block of n > 0 records. A
+// partition block's total size is Header(n) + the sum of its n Pair
+// calls, and codecs must guarantee their encoders produce exactly that
+// many bytes (the columnar invariant tests in internal/core pin this).
+type BlockSizer[K comparable, V any] struct {
+	Pair   func(prevK K, prevV V, k K, v V) int64
+	Header func(n int) int64
 }
 
 // Job describes one MapReduce job.
@@ -42,11 +86,22 @@ type Job[K comparable, V any, O any] struct {
 	// them for the combiner ablation experiment.
 	Combine func(key K, values []V) []V
 	// Partition routes a key to a reducer as Partition(k) % reducers.
-	// It is required; use the Hash* helpers for common key shapes.
+	// It is required; use the Hash* helpers for common key shapes. It
+	// must be a pure function of the key: the engine calls it once per
+	// pair to route the shuffle and again in the reduce-side grouper,
+	// and the two calls must agree.
 	Partition func(K) uint64
 	// KVSize reports the serialized size in bytes of one intermediate
 	// pair, used for shuffle accounting. Nil means 24 bytes per pair.
+	// Ignored when BlockKV is set.
 	KVSize func(K, V) int64
+	// BlockKV, when non-nil, switches shuffle-byte accounting from the
+	// per-record KVSize to a block codec: each map task's per-reducer
+	// bucket is charged as one contiguous encoded block (header plus
+	// delta-encoded records), mirroring how a real Hadoop job compresses
+	// each map task's spill per partition. Counters, resource limits and
+	// simulated time then reflect the codec's real wire size.
+	BlockKV *BlockSizer[K, V]
 	// OutSize reports the serialized size of one output record. Nil
 	// means 24 bytes.
 	OutSize func(O) int64
@@ -71,6 +126,13 @@ type Job[K comparable, V any, O any] struct {
 type pair[K comparable, V any] struct {
 	k K
 	v V
+	// h carries the raw partition hash from emit into the reducer's
+	// group table (group.go), whose count pass pushes it through the
+	// mix64 finalizer and probes on that (the raw hash's bits correlate
+	// with the routing mask, so probing needs the extra mix — but no
+	// generic re-hash of the key); count then overwrites h with the
+	// key's slot so the scatter pass does no hashing at all.
+	h uint64
 }
 
 // Run executes the job on the cluster and returns the reduce outputs in
@@ -118,72 +180,151 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	// deterministic regardless of scheduling. Bucket backing arrays come
 	// from the typed pools and are presized from the previous run of the
 	// same job.
+	//
+	// Typed inputs (MapInput) over block-written files read the DFS
+	// payload zero-copy: the task maps a borrowed sub-range of the
+	// file's []R slice with no per-record boxing. Everything else goes
+	// through SplitRanges and the boxed Input.Map.
 	type taskOut struct {
 		buckets [][]pair[K, V]
 		records int64
 		bytes   int64
 	}
+
+	// Reducer routing is Partition(k) % reducers by contract; when the
+	// worker count is a power of two (the common cluster shape) the
+	// modulo reduces to a mask with bit-identical routing.
+	rmask := uint64(0)
+	if reducers&(reducers-1) == 0 {
+		rmask = uint64(reducers - 1)
+	}
+	sizer := job.BlockKV
+
+	// runTask executes one map task: produce drives the input's map
+	// function over the task's split. emit only routes — one partition
+	// call, one mix, one append per pair. Records and bytes are
+	// accounted afterwards in a sequential walk over the filled buckets
+	// (post-combine volume for combine jobs): the walk is
+	// cache-friendly, and keeping size callbacks out of emit keeps the
+	// engine's innermost loop free of indirect calls it doesn't need.
+	part := job.Partition
+	runTask := func(produce func(emit func(K, V))) taskOut {
+		out := taskOut{buckets: make([][]pair[K, V], reducers)}
+		buckets := out.buckets
+		for r := range buckets {
+			buckets[r] = getSlice[pair[K, V]](bucketCap)
+		}
+		var emit func(k K, v V)
+		if rmask != 0 {
+			// Reslicing to rmask+1 (the exact reducer count) lets the
+			// compiler prove h&rmask is in bounds.
+			masked := buckets[:rmask+1]
+			emit = func(k K, v V) {
+				h := part(k)
+				r := h & rmask
+				masked[r] = append(masked[r], pair[K, V]{k: k, v: v, h: h})
+			}
+		} else {
+			emit = func(k K, v V) {
+				h := part(k)
+				r := h % uint64(reducers)
+				buckets[r] = append(buckets[r], pair[K, V]{k: k, v: v, h: h})
+			}
+		}
+		produce(emit)
+		if job.Combine != nil {
+			scratch := getCombineScratch[K, V]()
+			for r, bucket := range buckets {
+				buckets[r] = combineBucket(bucket, job.Combine, scratch)
+			}
+			putCombineScratch(scratch)
+		}
+		for _, bucket := range buckets {
+			out.records += int64(len(bucket))
+			switch {
+			case sizer != nil:
+				// One block per non-empty (map task, reducer) bucket —
+				// the per-partition spill a real job would encode and
+				// ship: header plus consecutive-pair deltas, the first
+				// pair sized against zero values.
+				if len(bucket) == 0 {
+					continue
+				}
+				var pk K
+				var pv V
+				for _, p := range bucket {
+					out.bytes += sizer.Pair(pk, pv, p.k, p.v)
+					pk, pv = p.k, p.v
+				}
+				out.bytes += sizer.Header(len(bucket))
+			case job.KVSize != nil:
+				for _, p := range bucket {
+					out.bytes += kvSize(p.k, p.v)
+				}
+			default:
+				// Flat default pair size: no per-pair walk needed.
+				out.bytes += int64(len(bucket)) * 24
+			}
+		}
+		return out
+	}
+
 	var tasks []func() taskOut
 	var taskInputs []int64 // records per map task, for the fault pass
 	for _, in := range job.Inputs {
-		recs, bounds, err := c.fs.SplitRanges(in.File, c.Workers())
-		if err != nil {
-			return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
+		var (
+			payload any
+			nrec    int
+			recs    []dfs.Record
+			bounds  []int
+		)
+		if in.run != nil {
+			p, count, ok, err := c.fs.BlockView(in.File)
+			if err != nil {
+				return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
+			}
+			if ok {
+				payload, nrec = p, count
+				bounds = splitBounds(count, c.Workers())
+			}
 		}
-		st.InputRecords += int64(len(recs))
+		if payload == nil {
+			var err error
+			recs, bounds, err = c.fs.SplitRanges(in.File, c.Workers())
+			if err != nil {
+				return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
+			}
+			nrec = len(recs)
+		}
+		st.InputRecords += int64(nrec)
 		sz, err := c.fs.Size(in.File)
 		if err != nil {
 			return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
 		}
 		st.InputBytes += sz
 		for s := 0; s < len(bounds)-1; s++ {
-			split := recs[bounds[s]:bounds[s+1]]
-			if len(split) == 0 {
+			lo, hi := bounds[s], bounds[s+1]
+			if lo == hi {
 				continue
 			}
-			mapFn := in.Map
 			st.MapTasks++
-			taskInputs = append(taskInputs, int64(len(split)))
-			tasks = append(tasks, func() taskOut {
-				out := taskOut{buckets: make([][]pair[K, V], reducers)}
-				for r := range out.buckets {
-					out.buckets[r] = getSlice[pair[K, V]](bucketCap)
-				}
-				// Per-pair record/byte accounting is folded into emit so
-				// the task walks its buckets exactly once instead of
-				// filling them and then re-walking them to count.
-				emit := func(k K, v V) {
-					r := int(job.Partition(k) % uint64(reducers))
-					out.buckets[r] = append(out.buckets[r], pair[K, V]{k, v})
-					out.records++
-					out.bytes += kvSize(k, v)
-				}
-				if job.Combine != nil {
-					// Shuffle counters account the post-combine volume,
-					// so emit only routes and the combine walk (which
-					// visits every surviving pair anyway) accounts.
-					emit = func(k K, v V) {
-						r := int(job.Partition(k) % uint64(reducers))
-						out.buckets[r] = append(out.buckets[r], pair[K, V]{k, v})
-					}
-				}
-				for _, rec := range split {
-					mapFn(rec.Data, emit)
-				}
-				if job.Combine != nil {
-					scratch := getCombineScratch[K, V]()
-					for r, bucket := range out.buckets {
-						bucket = combineBucket(bucket, job.Combine, scratch)
-						out.buckets[r] = bucket
-						out.records += int64(len(bucket))
-						for _, p := range bucket {
-							out.bytes += kvSize(p.k, p.v)
+			taskInputs = append(taskInputs, int64(hi-lo))
+			if payload != nil {
+				runFn, blk := in.run, payload
+				tasks = append(tasks, func() taskOut {
+					return runTask(func(emit func(K, V)) { runFn(blk, lo, hi, emit) })
+				})
+			} else {
+				split := recs[lo:hi]
+				mapFn := in.Map
+				tasks = append(tasks, func() taskOut {
+					return runTask(func(emit func(K, V)) {
+						for _, rec := range split {
+							mapFn(rec.Data, emit)
 						}
-					}
-					putCombineScratch(scratch)
-				}
-				return out
-			})
+					})
+				})
+			}
 		}
 	}
 
@@ -324,13 +465,21 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 			outs[i].buckets[r] = nil
 		}
 		out := getSlice[O](outCap)
-		var bytes int64
 		emit := func(o O) {
 			out = append(out, o)
-			bytes += outSize(o)
 		}
 		for i, k := range g.keys {
 			job.Reduce(k, g.group(i), emit)
+		}
+		// Size outputs in one walk after the reduce loop rather than per
+		// emit, keeping the hot emit closure to a bare append.
+		var bytes int64
+		if job.OutSize == nil {
+			bytes = int64(len(out)) * 24
+		} else {
+			for i := range out {
+				bytes += outSize(out[i])
+			}
 		}
 		results[r] = out
 		resultBytes[r] = bytes
@@ -368,7 +517,11 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	for _, out := range results {
 		total += len(out)
 	}
-	all := make([]O, 0, total)
+	// The concatenated output comes from the typed pool: big jobs emit
+	// hundreds of megabytes here, and cycling fresh slabs through the
+	// allocator every job turns into page-fault storms. Callers that
+	// drop large outputs quickly can hand the slice back with Recycle.
+	all := getSlice[O](total)
 	var distinctKeys int64
 	for r, out := range results {
 		all = append(all, out...)
@@ -384,9 +537,12 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		if err != nil {
 			return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
 		}
-		for _, o := range all {
-			w.Append(o, outSize(o))
-		}
+		// One typed block instead of len(all) boxed records: downstream
+		// typed inputs read it back zero-copy. The DFS owns the payload,
+		// so it gets a copy and the caller keeps all.
+		blk := make([]O, len(all))
+		copy(blk, all)
+		w.AppendBlock(blk, len(blk), st.OutputBytes)
 		w.Close()
 	}
 
@@ -411,6 +567,25 @@ func ceilDiv(a, b int64) int64 {
 	return (a + b - 1) / b
 }
 
+// splitBounds computes the same n+1 contiguous split boundaries over
+// count records that dfs.SplitRanges produces, so the typed block path
+// and the boxed record path cut identical map tasks.
+func splitBounds(count, n int) []int {
+	if n <= 0 {
+		n = 1
+	}
+	bounds := make([]int, n+1)
+	per := (count + n - 1) / n
+	for i := 1; i <= n; i++ {
+		hi := i * per
+		if hi > count {
+			hi = count
+		}
+		bounds[i] = hi
+	}
+	return bounds
+}
+
 // combineScratch is the reusable grouping state of combineBucket. One
 // instance serves all of a map task's buckets (and, via the typed
 // pools, later tasks of jobs with the same key/value types), so the
@@ -418,6 +593,9 @@ func ceilDiv(a, b int64) int64 {
 type combineScratch[K comparable, V any] struct {
 	idx  map[K]int
 	keys []K
+	// hs records each key's raw partition hash (from the first pair
+	// seen), so the flattened pairs keep the hash the group table needs.
+	hs   []uint64
 	vals [][]V
 }
 
@@ -448,6 +626,7 @@ func (s *combineScratch[K, V]) reset() {
 	clear(s.idx)
 	clear(s.keys)
 	s.keys = s.keys[:0]
+	s.hs = s.hs[:0]
 }
 
 // combineBucket groups one task's bucket by key (preserving first-seen
@@ -465,6 +644,7 @@ func combineBucket[K comparable, V any](bucket []pair[K, V], combine func(K, []V
 			i = len(s.keys)
 			s.idx[p.k] = i
 			s.keys = append(s.keys, p.k)
+			s.hs = append(s.hs, p.h)
 			if i < len(s.vals) {
 				s.vals[i] = s.vals[i][:0]
 			} else {
@@ -478,7 +658,7 @@ func combineBucket[K comparable, V any](bucket []pair[K, V], combine func(K, []V
 	out := bucket[:0]
 	for i, k := range s.keys {
 		for _, v := range combine(k, s.vals[i]) {
-			out = append(out, pair[K, V]{k, v})
+			out = append(out, pair[K, V]{k: k, v: v, h: s.hs[i]})
 		}
 	}
 	return out

@@ -41,13 +41,54 @@ func getSlice[T any](want int) []T {
 	return make([]T, 0, want)
 }
 
-// putSlice clears the used portion of s (so pooled memory pins no
-// values) and returns its backing array to the pool for []T.
+// putSlice clears the used portion of s when T contains pointers (so
+// pooled memory pins no values) and returns its backing array to the
+// pool for []T. Pointer-free buffers — the engine's dominant case,
+// e.g. fiber-keyed pair buckets and float value arenas — skip the
+// clear: stale numeric bytes pin nothing and every slot is overwritten
+// before its next read.
 func putSlice[T any](s []T) {
 	if cap(s) == 0 {
 		return
 	}
-	clear(s)
+	if hasPointers[T]() {
+		clear(s)
+	}
 	s = s[:0]
 	poolFor[[]T]().Put(&s)
+}
+
+var pointerFreeTypes sync.Map // reflect.Type -> bool
+
+// hasPointers reports whether T contains any pointer-typed memory the
+// GC could trace (cached per concrete type).
+func hasPointers[T any]() bool {
+	t := reflect.TypeFor[T]()
+	if v, ok := pointerFreeTypes.Load(t); ok {
+		return !v.(bool)
+	}
+	free := pointerFree(t)
+	pointerFreeTypes.Store(t, free)
+	return !free
+}
+
+func pointerFree(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return pointerFree(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !pointerFree(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
 }
