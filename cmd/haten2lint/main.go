@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	haten2lint [-json] [packages]
+//	haten2lint [-json] [-list] [packages]
 //
 // Packages are directory patterns relative to the current directory;
 // "./..." (the default) analyzes the whole module, "./internal/mr"
@@ -16,8 +16,11 @@
 //
 //	//haten2:allow <check> <reason>
 //
-// on, or directly above, the offending line. Run with -json for
-// machine-readable output.
+// on, or directly above, the offending statement (an allow on a func
+// declaration covers the whole function). Run with -json for
+// machine-readable output, or -list for one line per check — name,
+// whether it is flow-sensitive or syntactic, and the invariant it
+// enforces.
 package main
 
 import (
@@ -58,7 +61,11 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+			sensitivity := "syntactic"
+			if a.Flow {
+				sensitivity = "flow-sensitive"
+			}
+			fmt.Fprintf(stdout, "%-14s %-14s %s\n", a.Name, sensitivity, a.Doc)
 		}
 		return 0
 	}

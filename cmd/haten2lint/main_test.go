@@ -111,13 +111,34 @@ func TestJSONOutput(t *testing.T) {
 
 func TestListFlag(t *testing.T) {
 	var out, errBuf bytes.Buffer
+	// -list never loads the module, so it must succeed even from a
+	// directory with no go.mod.
 	if code := run([]string{"-list"}, t.TempDir(), &out, &errBuf); code != 0 {
 		t.Fatalf("exit = %d, want 0\nstderr: %s", code, errBuf.String())
 	}
-	for _, a := range lint.Analyzers() {
-		if !strings.Contains(out.String(), a.Name) {
-			t.Errorf("-list output missing %s:\n%s", a.Name, out.String())
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	analyzers := lint.Analyzers()
+	if len(lines) != len(analyzers) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(analyzers), out.String())
+	}
+	for i, a := range analyzers {
+		sensitivity := "syntactic"
+		if a.Flow {
+			sensitivity = "flow-sensitive"
 		}
+		line := lines[i]
+		if !strings.HasPrefix(line, a.Name) {
+			t.Errorf("-list line %d = %q, want it to start with %s", i, line, a.Name)
+		}
+		for _, part := range []string{sensitivity, a.Doc} {
+			if !strings.Contains(line, part) {
+				t.Errorf("-list line for %s = %q, missing %q", a.Name, line, part)
+			}
+		}
+	}
+	// The suite must advertise both kinds, or the column is dead weight.
+	if !strings.Contains(out.String(), "flow-sensitive") || !strings.Contains(out.String(), "syntactic") {
+		t.Errorf("-list output missing a sensitivity kind:\n%s", out.String())
 	}
 }
 

@@ -257,6 +257,7 @@ func imhp(c *mr.Cluster, codec Codec, xFile string, m1 int, bFile string, m2 int
 	}
 	mr.Recycle(out)
 	if err := mr.WriteFileOwned(c, t1File, t1, hEntrySize); err != nil {
+		mr.Recycle(t2) // t2 never reaches its write on this path
 		return err
 	}
 	return mr.WriteFileOwned(c, t2File, t2, hEntrySize)

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak keeps the engine's worker fan-out joined. The simulator's
+// determinism rests on every spawned goroutine finishing before the
+// result it contributes to is read: runPool's workers (the one
+// sanctioned spawn site) are balanced by a WaitGroup Add before the
+// spawn, a deferred Done inside the body, and a Wait on every path
+// after the loop. A goroutine with no such balance either leaks —
+// accumulating workers across jobs until the scheduler's interleaving
+// becomes load-dependent — or races the read of whatever it writes.
+//
+// For each `go` statement the analyzer derives the join key from the
+// goroutine body: a `wg.Done()` names a WaitGroup, a send on (or close
+// of) a channel names the channel. It then demands, on the spawner's
+// CFG, that the key's Add must have run on every path reaching the
+// spawn (forward must-analysis) and that the matching join — wg.Wait,
+// or a receive from the channel — runs on every path from the spawn to
+// the exit (backward must-analysis over the two-point lattice). Paths
+// that panic or os.Exit are not charged. A goroutine whose body signals
+// nothing at all is flagged outright: nothing can join it. Deliberately
+// detached goroutines carry a //haten2:allow with the argument for why
+// the leak is bounded.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement is balanced by a WaitGroup Add/Done pair or a joining channel receive on all paths",
+	Flow: true,
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, fb := range funcBodies(file) {
+			checkGoLeak(p, fb.body)
+		}
+	}
+}
+
+// joinKind says how a goroutine signals completion.
+type joinKind int
+
+const (
+	joinNone joinKind = iota
+	joinWaitGroup
+	joinChannel
+)
+
+func checkGoLeak(p *Pass, body *ast.BlockStmt) {
+	var spawns []*ast.GoStmt
+	inspectShallow(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			spawns = append(spawns, g)
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+	cfg := BuildCFG(body)
+	for _, g := range spawns {
+		kind, key := spawnJoinKey(p, g)
+		switch kind {
+		case joinNone:
+			p.Reportf(g.Pos(),
+				"goroutine signals no completion: no WaitGroup Done or channel send in its body, so nothing can join it")
+		case joinWaitGroup:
+			if !mustAddBefore(p, cfg, g, key) {
+				p.Reportf(g.Pos(),
+					"goroutine calls %s.Done but %s.Add does not run on every path before the spawn: the Wait undercounts", key, key)
+			}
+			if !mustJoinAfter(p, cfg, g, func(n ast.Node) bool { return containsWaitCall(p, n, key) }) {
+				p.Reportf(g.Pos(),
+					"goroutine calls %s.Done but %s.Wait does not run on every path after the spawn: the goroutine can outlive its work", key, key)
+			}
+		case joinChannel:
+			if !mustJoinAfter(p, cfg, g, func(n ast.Node) bool { return containsChanReceive(p, n, key) }) {
+				p.Reportf(g.Pos(),
+					"goroutine sends on %s but no receive from %s runs on every path after the spawn: the send blocks or the result is dropped", key, key)
+			}
+		}
+	}
+}
+
+// spawnJoinKey inspects the spawned call for its completion signal: a
+// WaitGroup whose Done the body calls, or a channel the body sends on
+// or closes. For a non-literal callee the arguments are scanned instead
+// — passing &wg hands the callee the Done obligation.
+func spawnJoinKey(p *Pass, g *ast.GoStmt) (joinKind, string) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		kind, key := joinNone, ""
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if kind != joinNone {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if k := waitGroupMethodKey(p, n, "Done"); k != "" {
+					kind, key = joinWaitGroup, k
+				}
+				if isCloseCall(p, n) && len(n.Args) == 1 {
+					if k := chainKey(n.Args[0]); k != "" && isChanType(p.TypeOf(n.Args[0])) {
+						kind, key = joinChannel, k
+					}
+				}
+			case *ast.SendStmt:
+				if k := chainKey(n.Chan); k != "" {
+					kind, key = joinChannel, k
+				}
+			}
+			return kind == joinNone
+		})
+		return kind, key
+	}
+	for _, arg := range g.Call.Args {
+		e := ast.Unparen(arg)
+		if isWaitGroupType(p.TypeOf(e)) {
+			if k := chainKey(e); k != "" {
+				return joinWaitGroup, k
+			}
+		}
+		if isChanType(p.TypeOf(e)) {
+			if k := chainKey(e); k != "" {
+				return joinChannel, k
+			}
+		}
+	}
+	return joinNone, ""
+}
+
+// mustAddBefore solves the forward must-analysis "key.Add has run" and
+// reads the fact immediately before the spawn statement.
+func mustAddBefore(p *Pass, cfg *CFG, g *ast.GoStmt, key string) bool {
+	sol := (&Flow{
+		CFG: cfg,
+		Lat: MustSetLattice[string]{},
+		Transfer: func(n ast.Node, f Fact) Fact {
+			s := f.(MustSet[string])
+			if _, ok := n.(*DeferRun); ok {
+				return s
+			}
+			if containsWaitGroupCall(p, n, key, "Add") {
+				return mustAdd(s, key)
+			}
+			return s
+		},
+		Boundary: MustSet[string]{M: map[string]bool{}},
+	}).Solve()
+	ok := false
+	for _, blk := range cfg.Reachable() {
+		sol.Replay(blk, func(n ast.Node, f Fact) {
+			if n == ast.Node(g) && f.(MustSet[string]).Has(key) {
+				ok = true
+			}
+		})
+	}
+	return ok
+}
+
+// mustJoinAfter solves the backward must-analysis "every path from here
+// reaches a joining node" and reads the fact immediately after the
+// spawn statement.
+func mustJoinAfter(p *Pass, cfg *CFG, g *ast.GoStmt, joins func(ast.Node) bool) bool {
+	sol := (&Flow{
+		CFG: cfg,
+		Lat: BoolLattice{All: true},
+		Transfer: func(n ast.Node, f Fact) Fact {
+			if joins(n) {
+				return true
+			}
+			return f
+		},
+		Backward: true,
+		Boundary: false,
+	}).Solve()
+	ok := false
+	for _, blk := range cfg.Reachable() {
+		sol.Replay(blk, func(n ast.Node, f Fact) {
+			// Backward replay hands the fact holding after the node.
+			if n == ast.Node(g) && f.(bool) {
+				ok = true
+			}
+		})
+	}
+	return ok
+}
+
+// containsWaitCall reports whether n contains key.Wait(); a DeferRun
+// wrapping `defer wg.Wait()` joins at exit and counts.
+func containsWaitCall(p *Pass, n ast.Node, key string) bool {
+	return containsWaitGroupCall(p, n, key, "Wait")
+}
+
+// containsWaitGroupCall reports whether n (outside nested literals)
+// calls the named method on the WaitGroup identified by key.
+func containsWaitGroupCall(p *Pass, n ast.Node, key, method string) bool {
+	if dr, ok := n.(*DeferRun); ok {
+		n = dr.Defer.Call
+	}
+	switch n.(type) {
+	case *CaseBind, *RangeHead:
+		return false
+	}
+	found := false
+	inspectShallow(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if waitGroupMethodKey(p, call, method) == key {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// containsChanReceive reports whether n receives from the channel
+// identified by key: a <- expression or a range over it.
+func containsChanReceive(p *Pass, n ast.Node, key string) bool {
+	switch n := n.(type) {
+	case *DeferRun:
+		return containsChanReceive(p, n.Defer.Call, key)
+	case *CaseBind:
+		return false
+	case *RangeHead:
+		return isChanType(p.TypeOf(n.Range.X)) && chainKey(n.Range.X) == key
+	}
+	found := false
+	inspectShallow(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if ue, ok := x.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			if chainKey(ue.X) == key && isChanType(p.TypeOf(ue.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// waitGroupMethodKey returns the receiver chain of a call to the named
+// sync.WaitGroup method, or "".
+func waitGroupMethodKey(p *Pass, call *ast.CallExpr, method string) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return ""
+	}
+	if !isWaitGroupType(p.TypeOf(sel.X)) {
+		return ""
+	}
+	return chainKey(sel.X)
+}
+
+// isWaitGroupType matches sync.WaitGroup and pointers to it.
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

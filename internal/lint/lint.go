@@ -70,6 +70,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
+	// Flow marks the analyzers that run on the CFG/dataflow engine
+	// (path-sensitive facts); the rest are syntactic AST walks. Surfaced
+	// by `haten2lint -list` so readers know which findings depend on
+	// control flow.
+	Flow bool
 	// Run analyzes one package.
 	Run func(p *Pass)
 }
@@ -134,6 +139,9 @@ func Analyzers() []*Analyzer {
 		ErrcheckIO,
 		PoolReturn,
 		DFSBorrow,
+		LockScope,
+		GoLeak,
+		SharedCapture,
 	}
 }
 

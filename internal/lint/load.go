@@ -233,6 +233,11 @@ func typeCheck(fset *token.FileSet, p *parsedPkg, std types.Importer, loaded map
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		// Implicits carries the per-clause objects of type switches
+		// (`switch s := x.(type)`), which Defs and Uses never see; the
+		// flow-sensitive analyzers need them to track taint through
+		// clause bindings.
+		Implicits: make(map[ast.Node]types.Object),
 	}
 	var errs []error
 	cfg := types.Config{

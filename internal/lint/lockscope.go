@@ -1,0 +1,386 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockScope bounds what the engine does inside a critical section. The
+// cluster's Cluster.mu, the DFS's FS.mu, and the tracer's Tracer.mu
+// each guard in-memory state that every job touches; holding one of
+// them across DFS I/O, a channel operation, or Emit-charged tracing
+// turns the lock into the simulator's global bottleneck, and acquiring
+// a second lock while one is held is how lock-order inversions (and
+// with an RWMutex, self-deadlocks) enter a codebase that today has a
+// strict leaf-lock discipline.
+//
+// The check is a forward may-analysis over the function's CFG: facts
+// are the set of mutexes possibly held (keyed by the receiver chain,
+// e.g. "c.mu"). Lock/RLock gens the key, Unlock/RUnlock kills it, and a
+// deferred unlock kills at the exit block's DeferRun, so everything
+// between `mu.Lock(); defer mu.Unlock()` and the return is analyzed as
+// under the lock. While any lock may be held, the analyzer flags
+// channel operations and Lock calls directly, classifies cross-package
+// calls by callee package (dfs → I/O, obs → Emit-charged tracing), and
+// consults a light same-package summary — computed to a fixpoint over
+// the package's call graph — so a helper that transitively acquires a
+// lock, performs DFS I/O, or emits trace events charges its caller
+// (`record` holding c.mu and calling traceJob, which calls tr.Emit, is
+// the grounding case). Calls inside nested function literals are not
+// charged to the enclosing critical section: a literal runs when
+// invoked, not where defined.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no DFS I/O, channel operations, Emit-charged tracing, or nested lock acquisition while a mutex is held",
+	Flow: true,
+	Run:  runLockScope,
+}
+
+// lockSummary is the may-behavior of one same-package function,
+// propagated transitively over the package's internal call graph.
+type lockSummary struct {
+	acquires bool // may Lock/RLock a mutex
+	dfsIO    bool // may call into the dfs package
+	chanOps  bool // may send on, receive from, or close a channel
+	emits    bool // may call into the obs tracer
+}
+
+func (s *lockSummary) or(o lockSummary) bool {
+	before := *s
+	s.acquires = s.acquires || o.acquires
+	s.dfsIO = s.dfsIO || o.dfsIO
+	s.chanOps = s.chanOps || o.chanOps
+	s.emits = s.emits || o.emits
+	return *s != before
+}
+
+func runLockScope(p *Pass) {
+	sums := lockSummaries(p)
+	for _, file := range p.Pkg.Files {
+		for _, fb := range funcBodies(file) {
+			checkLockScope(p, fb.body, sums)
+		}
+	}
+}
+
+// lockSummaries computes per-function may-behavior for the package's
+// declared functions: direct facts first, then a fixpoint over
+// same-package calls so transitive behavior (record → traceJob →
+// tr.Emit) reaches the outermost caller.
+func lockSummaries(p *Pass) map[*types.Func]*lockSummary {
+	sums := map[*types.Func]*lockSummary{}
+	type declBody struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []declBody
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			s := &lockSummary{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					s.chanOps = true
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						s.chanOps = true
+					}
+				case *ast.RangeStmt:
+					if isChanType(p.TypeOf(n.X)) {
+						s.chanOps = true
+					}
+				case *ast.CallExpr:
+					if mutexLockKey(p, n, true) != "" {
+						s.acquires = true
+					}
+					// Cross-package effects only: dfs and obs calling their
+					// own helpers under their own locks is their design, not
+					// an effect to propagate to callers holding other locks.
+					if callee := p.FuncFor(n); callee != nil && callee.Pkg() != nil && callee.Pkg() != p.Pkg.Pkg {
+						switch callee.Pkg().Name() {
+						case "dfs":
+							s.dfsIO = true
+						case "obs":
+							s.emits = true
+						}
+					}
+					if isCloseCall(p, n) {
+						s.chanOps = true
+					}
+				}
+				return true
+			})
+			sums[fn] = s
+			decls = append(decls, declBody{fn: fn, body: fd.Body})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			ast.Inspect(d.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := p.FuncFor(call)
+				if callee == nil {
+					return true
+				}
+				if cs, ok := sums[callee]; ok && sums[d.fn].or(*cs) {
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+	return sums
+}
+
+func checkLockScope(p *Pass, body *ast.BlockStmt, sums map[*types.Func]*lockSummary) {
+	// Skip bodies that never lock: the fact set stays empty throughout.
+	locks := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && mutexLockKey(p, call, true) != "" {
+			locks = true
+		}
+		return !locks
+	})
+	if !locks {
+		return
+	}
+	cfg := BuildCFG(body)
+	sol := (&Flow{
+		CFG:      cfg,
+		Lat:      SetLattice[string]{},
+		Transfer: func(n ast.Node, f Fact) Fact { return lockTransfer(p, n, f) },
+		Boundary: map[string]bool(nil),
+	}).Solve()
+	reported := map[token.Pos]bool{}
+	for _, blk := range cfg.Reachable() {
+		sol.Replay(blk, func(n ast.Node, f Fact) {
+			held := f.(map[string]bool)
+			if len(held) == 0 {
+				return
+			}
+			holding := sortedKeys(held)[0]
+			switch n := n.(type) {
+			case *DeferRun:
+				// The deferred call runs with the exit-time lock set; its
+				// own unlock is the transfer, not a charged operation.
+				return
+			case *CaseBind:
+				return
+			case *RangeHead:
+				if isChanType(p.TypeOf(n.Range.X)) && !reported[n.Pos()] {
+					reported[n.Pos()] = true
+					p.Reportf(n.Range.Pos(),
+						"channel receive while %s is held: the critical section blocks on channel readiness", holding)
+				}
+				return
+			}
+			inspectShallow(n, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.SendStmt:
+					if !reported[x.Pos()] {
+						reported[x.Pos()] = true
+						p.Reportf(x.Pos(),
+							"channel send while %s is held: the critical section blocks on channel readiness", holding)
+					}
+				case *ast.UnaryExpr:
+					if x.Op == token.ARROW && !reported[x.Pos()] {
+						reported[x.Pos()] = true
+						p.Reportf(x.Pos(),
+							"channel receive while %s is held: the critical section blocks on channel readiness", holding)
+					}
+				case *ast.CallExpr:
+					reportLockedCall(p, x, held, holding, sums, reported)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// reportLockedCall classifies one call made while locks are held.
+func reportLockedCall(p *Pass, call *ast.CallExpr, held map[string]bool, holding string, sums map[*types.Func]*lockSummary, reported map[token.Pos]bool) {
+	if reported[call.Pos()] {
+		return
+	}
+	if key := mutexLockKey(p, call, true); key != "" {
+		reported[call.Pos()] = true
+		p.Reportf(call.Pos(),
+			"acquires %s while %s is held: nested lock acquisition risks deadlock", key, holding)
+		return
+	}
+	if mutexLockKey(p, call, false) != "" {
+		return // the unlock itself is the kill, not a charged operation
+	}
+	if isCloseCall(p, call) {
+		reported[call.Pos()] = true
+		p.Reportf(call.Pos(),
+			"channel close while %s is held: the critical section publishes to unknown receivers", holding)
+		return
+	}
+	fn := p.FuncFor(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Cross-package classification only: the dfs and obs packages call
+	// their own helpers under their own locks by design, and those are
+	// judged by the same-package summaries below.
+	if fn.Pkg() != p.Pkg.Pkg {
+		switch fn.Pkg().Name() {
+		case "dfs":
+			reported[call.Pos()] = true
+			p.Reportf(call.Pos(),
+				"DFS I/O (%s) while %s is held: the lock serializes file-system latency", fn.Name(), holding)
+			return
+		case "obs":
+			reported[call.Pos()] = true
+			p.Reportf(call.Pos(),
+				"Emit-charged tracing (%s) while %s is held: trace work belongs outside the critical section", fn.Name(), holding)
+			return
+		}
+	}
+	if s, ok := sums[fn]; ok && fn.Pkg() == p.Pkg.Pkg {
+		var what string
+		switch {
+		case s.acquires:
+			what = "may acquire a lock"
+		case s.dfsIO:
+			what = "performs DFS I/O"
+		case s.chanOps:
+			what = "operates on channels"
+		case s.emits:
+			what = "emits trace events"
+		default:
+			return
+		}
+		reported[call.Pos()] = true
+		p.Reportf(call.Pos(),
+			"call to %s, which %s, while %s is held", fn.Name(), what, holding)
+	}
+}
+
+// lockTransfer updates the held-lock set for one CFG node.
+func lockTransfer(p *Pass, n ast.Node, f Fact) Fact {
+	m := f.(map[string]bool)
+	switch n := n.(type) {
+	case *DeferRun:
+		// Deferred unlocks release at function exit.
+		if key := mutexLockKey(p, n.Defer.Call, false); key != "" {
+			m = setDel(m, key)
+		}
+		return m
+	case *ast.DeferStmt:
+		return m // registration has no effect; DeferRun carries it
+	case *CaseBind, *RangeHead:
+		return m
+	}
+	inspectShallow(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key := mutexLockKey(p, call, true); key != "" {
+			m = setAdd(m, key)
+		} else if key := mutexLockKey(p, call, false); key != "" {
+			m = setDel(m, key)
+		}
+		return true
+	})
+	return m
+}
+
+// mutexLockKey classifies a call as a mutex acquire (lock=true:
+// Lock/RLock) or release (lock=false: Unlock/RUnlock) and returns the
+// canonical receiver chain ("c.mu"), or "" when it is neither.
+func mutexLockKey(p *Pass, call *ast.CallExpr, lock bool) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if lock {
+		if name != "Lock" && name != "RLock" {
+			return ""
+		}
+	} else {
+		if name != "Unlock" && name != "RUnlock" {
+			return ""
+		}
+	}
+	if !isMutexType(p.TypeOf(sel.X)) {
+		return ""
+	}
+	return chainKey(sel.X)
+}
+
+// chainKey renders a receiver chain of identifiers and field selections
+// ("c.mu", "st.fs.mu") for use as a lock key; other shapes yield "".
+func chainKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := chainKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return chainKey(e.X)
+		}
+	case *ast.StarExpr:
+		return chainKey(e.X)
+	}
+	return ""
+}
+
+// isMutexType matches sync.Mutex, sync.RWMutex, and pointers to them.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isChanType matches channel types.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isCloseCall matches the close built-in.
+func isCloseCall(p *Pass, call *ast.CallExpr) bool {
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "close" {
+		return false
+	}
+	_, builtin := p.Pkg.Info.Uses[fn].(*types.Builtin)
+	return builtin
+}

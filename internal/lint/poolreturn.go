@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -13,18 +14,27 @@ import (
 // their bucket and group storage from scratch and the reuse PR 1 bought
 // evaporates without any test failing. The check applies to the
 // packages that own pools (mr, and obs's exporter buffers) and is
-// flow-insensitive: a value bound from a pool acquisition (getSlice,
+// path-sensitive: a value bound from a pool acquisition (getSlice,
 // getGroupArena, getCombineScratch, getBuf, or a raw sync.Pool Get)
-// must, somewhere in the same outermost function, be passed to the
-// matching return call, be returned to the caller, or escape into
+// must, on every path that reaches the function's exit, be passed to
+// the matching return call, be returned to the caller, or escape into
 // another location (whose owner then carries the obligation). The
-// shuffle-v2 codec pools widened the surface: core's per-reduce scratch
-// maps come from a raw sync.Pool behind a type assertion, and plans
-// borrow engine slabs through the exported mr.Acquire/mr.Recycle pair,
-// so both shapes are tracked here too.
+// analysis runs a forward may-analysis over the function's CFG: the
+// fact is the set of outstanding acquisitions, releases and escapes
+// discharge them, and whatever survives at the exit block leaks. The
+// flow-insensitive predecessor accepted a release anywhere in the
+// function, so a release guarded by one branch of an if satisfied it
+// even though the other branch leaked; here the leaking path keeps the
+// obligation alive to the exit and is reported. Paths ending in panic
+// or os.Exit have no edge to the exit block and are deliberately not
+// charged. The shuffle-v2 codec pools widened the surface: core's
+// per-reduce scratch maps come from a raw sync.Pool behind a type
+// assertion, and plans borrow engine slabs through the exported
+// mr.Acquire/mr.Recycle pair, so both shapes are tracked here too.
 var PoolReturn = &Analyzer{
 	Name: "poolreturn",
-	Doc:  "every pool acquisition in internal/mr and internal/obs has a matching return",
+	Doc:  "every pool acquisition in internal/mr and internal/obs has a matching return on every path",
+	Flow: true,
 	Run:  runPoolReturn,
 }
 
@@ -52,12 +62,8 @@ func runPoolReturn(p *Pass) {
 		return
 	}
 	for _, file := range p.Pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkPoolBalance(p, fd)
+		for _, fb := range funcBodies(file) {
+			checkPoolBalance(p, fb.body)
 		}
 	}
 }
@@ -69,9 +75,18 @@ type acquisition struct {
 	call *ast.CallExpr
 }
 
-func checkPoolBalance(p *Pass, fd *ast.FuncDecl) {
-	var acqs []acquisition
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// poolFlow is the per-function must-release problem: facts are sets of
+// outstanding acquisition indexes (into acqs), gens maps each binding
+// statement to the acquisitions it introduces.
+type poolFlow struct {
+	p    *Pass
+	acqs []acquisition
+	gens map[ast.Node][]int
+}
+
+func checkPoolBalance(p *Pass, body *ast.BlockStmt) {
+	pf := &poolFlow{p: p, gens: map[ast.Node][]int{}}
+	inspectShallow(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
 			return true
@@ -99,17 +114,194 @@ func checkPoolBalance(p *Pass, fd *ast.FuncDecl) {
 			obj = p.Pkg.Info.Uses[id]
 		}
 		if obj != nil {
-			acqs = append(acqs, acquisition{obj: obj, put: put, call: call})
+			pf.gens[as] = append(pf.gens[as], len(pf.acqs))
+			pf.acqs = append(pf.acqs, acquisition{obj: obj, put: put, call: call})
 		}
 		return true
 	})
-	for _, acq := range acqs {
-		if !poolObligationMet(p, fd, acq) {
+	if len(pf.acqs) == 0 {
+		return
+	}
+	cfg := BuildCFG(body)
+	sol := (&Flow{
+		CFG:      cfg,
+		Lat:      SetLattice[int]{},
+		Transfer: pf.transfer,
+		Boundary: map[int]bool(nil),
+	}).Solve()
+	// An acquisition still outstanding when the exit block has run all
+	// deferred calls leaks on at least one path. Distinguish total leaks
+	// (no path discharges — the old syntactic check caught these) from
+	// branch leaks (some path releases, another does not — only the
+	// path-sensitive analysis sees those).
+	leaked := sol.Out[cfg.Exit].(map[int]bool)
+	if len(leaked) == 0 {
+		return
+	}
+	discharged := make([]bool, len(pf.acqs))
+	for _, blk := range cfg.Reachable() {
+		sol.Replay(blk, func(n ast.Node, f Fact) {
+			for id := range f.(map[int]bool) {
+				if pf.discharges(n, pf.acqs[id]) {
+					discharged[id] = true
+				}
+			}
+		})
+	}
+	ids := make([]int, 0, len(leaked))
+	for id := range leaked {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		acq := pf.acqs[id]
+		if discharged[id] {
+			// A raw sync.Pool Get returns `any` and may be nil; the getter
+			// idiom `if v := pool.Get(); v != nil { return v.(T) }` settles
+			// the obligation on the non-nil path and owes nothing on the
+			// nil one. The CFG carries no branch-condition facts, so a
+			// nil-tested raw Get that discharges somewhere is taken to leak
+			// only on the nil path and is not reported. An unguarded or
+			// never-released Get is still flagged below.
+			if acq.put == "Put" && nilTested(p, body, acq.obj) {
+				continue
+			}
+			p.Reportf(acq.call.Pos(),
+				"pooled buffer %s is returned with %s on some paths but leaks on others: the pool degrades to plain allocation on the leaking path",
+				acq.obj.Name(), acq.put)
+		} else {
 			p.Reportf(acq.call.Pos(),
 				"pooled buffer %s is acquired but never returned with %s (and does not escape this function): the pool degrades to plain allocation",
 				acq.obj.Name(), acq.put)
 		}
 	}
+}
+
+// transfer discharges obligations the node settles, then adds the ones
+// it opens.
+func (pf *poolFlow) transfer(n ast.Node, f Fact) Fact {
+	m := f.(map[int]bool)
+	for id := range m {
+		if pf.discharges(n, pf.acqs[id]) {
+			m = setDel(m, id)
+		}
+	}
+	for _, id := range pf.gens[n] {
+		m = setAdd(m, id)
+	}
+	return m
+}
+
+// discharges reports whether executing n settles the acquisition's
+// obligation: the matching release, a return of the value, an escape
+// into another location, or capture by a function literal that
+// releases it (the literal then owns the buffer).
+func (pf *poolFlow) discharges(n ast.Node, acq acquisition) bool {
+	p := pf.p
+	switch n := n.(type) {
+	case *DeferRun:
+		// The registration statement already discharged; running the
+		// defer at exit settles nothing new.
+		return false
+	case *CaseBind, *RangeHead:
+		// Headers evaluate expressions only; the release calls are void
+		// and cannot appear there.
+		return false
+	case *ast.ReturnStmt:
+		return exprMentions(p, n.Results, acq.obj)
+	case *ast.AssignStmt:
+		if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+			// The value escaping into another variable, field, slice
+			// element, or struct literal transfers the obligation.
+			// Compound assignments (+=, …) are reads, not escapes.
+			for i, rhs := range n.Rhs {
+				if isAcquisitionExpr(p, rhs) {
+					continue // binding a fresh acquisition, not an escape
+				}
+				if !escapesVia(p, rhs, acq.obj) {
+					continue
+				}
+				lhs := n.Lhs[min(i, len(n.Lhs)-1)]
+				if id, ok := lhs.(*ast.Ident); ok {
+					if p.Pkg.Info.Uses[id] == acq.obj || p.Pkg.Info.Defs[id] == acq.obj {
+						continue // x = append(x, …) is not an escape
+					}
+				}
+				return true
+			}
+		}
+	}
+	return releasesIn(p, n, acq.put, acq.obj)
+}
+
+// nilTested reports whether the body compares obj against nil.
+func nilTested(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		sides := [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}}
+		for _, pair := range sides {
+			id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+			if !ok || p.Pkg.Info.Uses[id] != obj {
+				continue
+			}
+			if other, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && other.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// releasesIn reports whether n contains a call to the named release
+// with the object among its arguments — directly, or inside a nested
+// function literal (a deferred or spawned closure returning the buffer,
+// or a stored callback that then owns it).
+func releasesIn(p *Pass, n ast.Node, put string, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if isReleaseCall(p, call, put) && exprMentions(p, call.Args, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAcquisitionExpr reports whether rhs is itself a pool acquisition
+// (optionally behind a type assertion), which binds a fresh buffer
+// rather than escaping an existing one.
+func isAcquisitionExpr(p *Pass, rhs ast.Expr) bool {
+	e := ast.Unparen(rhs)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	return ok && acquisitionPut(p, call) != ""
+}
+
+// inspectShallow walks root like ast.Inspect but does not descend into
+// nested function literals: each literal body is a separate funcBody
+// with its own CFG and analysis.
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
 }
 
 // acquisitionPut classifies a call as a pool acquisition, returning the
@@ -129,51 +321,6 @@ func acquisitionPut(p *Pass, call *ast.CallExpr) string {
 		}
 	}
 	return ""
-}
-
-// poolObligationMet reports whether the acquired value is released,
-// returned, or stored beyond the local variable within fd.
-func poolObligationMet(p *Pass, fd *ast.FuncDecl, acq acquisition) bool {
-	met := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if met {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if isReleaseCall(p, n, acq.put) && exprMentions(p, n.Args, acq.obj) {
-				met = true
-			}
-		case *ast.ReturnStmt:
-			if exprMentions(p, n.Results, acq.obj) {
-				met = true
-			}
-		case *ast.AssignStmt:
-			// The value escaping into another variable, field, slice
-			// element, or struct literal transfers the obligation.
-			// Compound assignments (+=, …) are reads, not escapes.
-			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
-				return true
-			}
-			for i, rhs := range n.Rhs {
-				if ast.Unparen(rhs) == acq.call {
-					continue // the acquisition itself
-				}
-				if !escapesVia(p, rhs, acq.obj) {
-					continue
-				}
-				lhs := n.Lhs[min(i, len(n.Lhs)-1)]
-				if id, ok := lhs.(*ast.Ident); ok {
-					if p.Pkg.Info.Uses[id] == acq.obj || p.Pkg.Info.Defs[id] == acq.obj {
-						continue // x = append(x, …) is not an escape
-					}
-				}
-				met = true
-			}
-		}
-		return !met
-	})
-	return met
 }
 
 // escapesVia reports whether assigning rhs can transfer ownership of

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedCapture flags data races hiding in goroutine closures: a `go
+// func` literal that writes to a variable captured by reference from
+// the enclosing function mutates state the spawner (or a sibling
+// worker) may touch concurrently. The engine's sanctioned patterns are
+// the two that are actually safe: guarding the write with a mutex held
+// on every path to it, and per-index slice partitioning (each worker
+// writes results[i] for its own i), which runPool's workers rely on.
+//
+// For each spawned literal the analyzer walks the body's CFG with a
+// forward must-analysis of held locks (Lock gens, Unlock kills —
+// must-held, because a lock held on only some paths guards nothing) and
+// flags every write whose target resolves to a captured variable:
+// assignments, compound assignments, and ++/--. Writes through a slice
+// or array index are exempt — that is the partitioning pattern, and
+// per-element aliasing is beyond a lint's reach — but writes into a
+// captured map are flagged (concurrent map writes fault regardless of
+// key). Reads are never flagged: flow-insensitive read/write pairing
+// produces more noise than signal, and the race detector covers reads
+// in tier-1.
+var SharedCapture = &Analyzer{
+	Name: "sharedcapture",
+	Doc:  "goroutines do not write captured variables without a lock held on every path (slice-index partitioning exempt)",
+	Flow: true,
+	Run:  runSharedCapture,
+}
+
+func runSharedCapture(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, fb := range funcBodies(file) {
+			inspectShallow(fb.body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+					checkSharedCapture(p, lit)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkSharedCapture(p *Pass, lit *ast.FuncLit) {
+	cfg := BuildCFG(lit.Body)
+	sol := (&Flow{
+		CFG: cfg,
+		Lat: MustSetLattice[string]{},
+		Transfer: func(n ast.Node, f Fact) Fact {
+			s := f.(MustSet[string])
+			switch n := n.(type) {
+			case *DeferRun:
+				if key := mutexLockKey(p, n.Defer.Call, false); key != "" {
+					s = mustDel(s, key)
+				}
+				return s
+			case *ast.DeferStmt:
+				return s
+			case *CaseBind, *RangeHead:
+				return s
+			}
+			inspectShallow(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if key := mutexLockKey(p, call, true); key != "" {
+					s = mustAdd(s, key)
+				} else if key := mutexLockKey(p, call, false); key != "" {
+					s = mustDel(s, key)
+				}
+				return true
+			})
+			return s
+		},
+		Boundary: MustSet[string]{M: map[string]bool{}},
+	}).Solve()
+	for _, blk := range cfg.Reachable() {
+		sol.Replay(blk, func(n ast.Node, f Fact) {
+			held := f.(MustSet[string])
+			guarded := !held.Top && len(held.M) > 0
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportCapturedWrite(p, lit, lhs, guarded)
+				}
+			case *ast.IncDecStmt:
+				reportCapturedWrite(p, lit, n.X, guarded)
+			}
+		})
+	}
+}
+
+// reportCapturedWrite flags one write target when it resolves to a
+// by-reference capture and no lock is must-held.
+func reportCapturedWrite(p *Pass, lit *ast.FuncLit, lhs ast.Expr, guarded bool) {
+	if guarded {
+		return
+	}
+	obj, via := writeTarget(p, lhs)
+	if obj == nil || !capturedBy(lit, obj) {
+		return
+	}
+	p.Reportf(lhs.Pos(),
+		"goroutine writes captured %s%s without a lock held on every path: concurrent writes race (guard with a mutex or partition by slice index)",
+		obj.Name(), via)
+}
+
+// writeTarget resolves a write's base variable, skipping the exempt
+// slice/array-index partitioning shape. The second result annotates the
+// access path for the diagnostic ("", " through a field", " through a
+// map index").
+func writeTarget(p *Pass, lhs ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil, ""
+		}
+		obj := p.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = p.Pkg.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v, ""
+		}
+		return nil, ""
+	case *ast.SelectorExpr:
+		obj, _ := writeTarget(p, e.X)
+		return obj, " through a field"
+	case *ast.StarExpr:
+		obj, _ := writeTarget(p, e.X)
+		return obj, " through a pointer"
+	case *ast.IndexExpr:
+		t := p.TypeOf(e.X)
+		if t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer:
+				// Per-index partitioning: each worker owns its element.
+				return nil, ""
+			case *types.Map:
+				obj, _ := writeTarget(p, e.X)
+				return obj, " through a map index"
+			}
+		}
+		return nil, ""
+	}
+	return nil, ""
+}
+
+// capturedBy reports whether the variable is declared outside the
+// literal: a package-level variable or one of the enclosing function's
+// locals, either way shared with code outside this goroutine.
+func capturedBy(lit *ast.FuncLit, obj types.Object) bool {
+	if obj.Pos() == token.NoPos {
+		return true // predeclared or synthetic: not the literal's own
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -8,19 +10,30 @@ import (
 //
 //	//haten2:allow <check> <reason>
 //
-// and silence findings of the named check on the comment's own line and
-// on the line directly below it — covering both trailing comments and a
-// comment placed above the offending statement. The reason is required:
-// the suite exists because "the reviewer knew why" does not survive
-// contributor turnover, so neither does a bare allow.
+// and silence findings of the named check inside the statement or
+// declaration the comment anchors to:
+//
+//   - a trailing comment anchors to the statement sharing its line,
+//     even when that statement spans several lines;
+//   - a comment on its own line anchors to the next statement,
+//     declaration, or spec below it, skipping blank and comment-only
+//     lines — so allows for different checks stack above one statement;
+//   - a comment on or above a func declaration anchors to the whole
+//     function, giving a function-level allow.
+//
+// The reason is required: the suite exists because "the reviewer knew
+// why" does not survive contributor turnover, so neither does a bare
+// allow.
 
 const allowPrefix = "haten2:allow"
 
-// allow is one parsed, well-formed suppression comment.
+// allow is one parsed, well-formed suppression comment, resolved to the
+// line span of its anchor.
 type allow struct {
-	file  string
-	line  int
-	check string
+	file      string
+	startLine int
+	endLine   int
+	check     string
 }
 
 // collectAllows parses every suppression comment of a package. Malformed
@@ -59,12 +72,55 @@ func collectAllows(pkg *Package, valid map[string]bool) ([]allow, []Diagnostic) 
 						Message: "suppression of " + fields[0] + " needs a reason: //haten2:allow " + fields[0] + " <reason>",
 					})
 				default:
-					allows = append(allows, allow{file: pos.Filename, line: pos.Line, check: fields[0]})
+					start, end := anchorSpan(pkg.Fset, file, c)
+					allows = append(allows, allow{
+						file: pos.Filename, startLine: start, endLine: end, check: fields[0],
+					})
 				}
 			}
 		}
 	}
 	return allows, bad
+}
+
+// anchorSpan resolves the line range an allow comment covers. Trailing
+// comments anchor to the innermost statement with a token on the
+// comment's line; comments on their own line anchor to the next
+// statement, declaration, or spec in source order. A FuncDecl anchor
+// spans the whole function. An allow with nothing to anchor to covers
+// only its own line.
+func anchorSpan(fset *token.FileSet, file *ast.File, c *ast.Comment) (int, int) {
+	line := fset.Position(c.Pos()).Line
+	var trailing, next ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, ast.Spec:
+		default:
+			return true
+		}
+		if n.Pos() < c.Pos() {
+			// A candidate starting or ending on the comment's line means
+			// the comment trails code; prefer the innermost such node so
+			// `x := f() // allow` covers the assignment, not the whole
+			// enclosing block.
+			if fset.Position(n.Pos()).Line == line || fset.Position(n.End()).Line == line {
+				if trailing == nil || n.Pos() > trailing.Pos() {
+					trailing = n
+				}
+			}
+		} else if next == nil || n.Pos() < next.Pos() {
+			next = n
+		}
+		return true
+	})
+	anchor := trailing
+	if anchor == nil {
+		anchor = next
+	}
+	if anchor == nil {
+		return line, line
+	}
+	return fset.Position(anchor.Pos()).Line, fset.Position(anchor.End()).Line
 }
 
 // allowText extracts the payload after //haten2:allow, or reports that
@@ -85,28 +141,27 @@ func allowText(comment string) (string, bool) {
 	return strings.TrimSpace(rest), true
 }
 
-// filterAllowed drops diagnostics covered by a suppression of their
-// check in the same file on the same line or the line above.
+// filterAllowed drops diagnostics that fall inside the anchored span of
+// a suppression of their check in the same file.
 func filterAllowed(diags []Diagnostic, allows []allow) []Diagnostic {
 	if len(allows) == 0 {
 		return diags
 	}
-	type key struct {
-		file  string
-		line  int
-		check string
-	}
-	covered := make(map[key]bool, len(allows)*2)
-	for _, a := range allows {
-		covered[key{a.file, a.line, a.check}] = true
-		covered[key{a.file, a.line + 1, a.check}] = true
-	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if d.Check != "allow" && covered[key{d.File, d.Line, d.Check}] {
+		if d.Check != "allow" && suppressed(d, allows) {
 			continue
 		}
 		kept = append(kept, d)
 	}
 	return kept
+}
+
+func suppressed(d Diagnostic, allows []allow) bool {
+	for _, a := range allows {
+		if a.check == d.Check && a.file == d.File && a.startLine <= d.Line && d.Line <= a.endLine {
+			return true
+		}
+	}
+	return false
 }

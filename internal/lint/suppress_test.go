@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// suppressDiags loads a one-file throwaway module and runs the full
+// suite, returning "line:[check]" strings for the surviving findings.
+func suppressDiags(t *testing.T, src string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFixtureFile(t, dir, "go.mod", "module fixture.example/anchor\n\ngo 1.22\n")
+	writeFixtureFile(t, dir, "anchor.go", src)
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var got []string
+	for _, d := range RunSuite(pkgs, Analyzers()) {
+		got = append(got, fmt.Sprintf("%d:[%s]", d.Line, d.Check))
+	}
+	return got
+}
+
+// A comment on its own line anchors to the statement below even when
+// that statement spans several lines and the finding is reported on one
+// of its inner lines.
+func TestAllowCoversMultiLineStatement(t *testing.T) {
+	got := suppressDiags(t, `package anchor
+
+import "time"
+
+func stamps() []time.Time {
+	//haten2:allow wallclock simulation boundary, both stamps feed a log line only
+	return []time.Time{
+		time.Now(),
+		time.Now(),
+	}
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("diagnostics = %v, want none", got)
+	}
+}
+
+// A trailing allow on the first line of a multi-line statement covers
+// the whole statement, not just its own line.
+func TestTrailingAllowCoversStatementSpan(t *testing.T) {
+	got := suppressDiags(t, `package anchor
+
+import "time"
+
+func stamps() []time.Time {
+	return []time.Time{ //haten2:allow wallclock simulation boundary, stamps feed a log line only
+		time.Now(),
+	}
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("diagnostics = %v, want none", got)
+	}
+}
+
+// Stacked allows all skip past each other to the same statement, so one
+// line carrying findings of two checks needs no contortions.
+func TestStackedAllows(t *testing.T) {
+	got := suppressDiags(t, `package anchor
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seedling() int64 {
+	//haten2:allow wallclock seeding the demo generator from the clock is the point
+	//haten2:allow unseededrand demo generator, reproducibility is not wanted here
+	return time.Now().UnixNano() + rand.Int63()
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("diagnostics = %v, want none", got)
+	}
+}
+
+// An allow on the func declaration covers the whole function body: a
+// function-level allow.
+func TestFunctionLevelAllow(t *testing.T) {
+	got := suppressDiags(t, `package anchor
+
+import "time"
+
+//haten2:allow wallclock demo helper, every line of it reads the clock on purpose
+func clockParade() time.Duration {
+	start := time.Now()
+	for time.Since(start) < time.Millisecond {
+	}
+	return time.Since(start)
+}
+
+func unprotected() time.Time {
+	return time.Now()
+}
+`)
+	want := []string{"14:[wallclock]"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+}
+
+// A function-level allow silences only its named check; other findings
+// inside the function survive.
+func TestFunctionLevelAllowIsPerCheck(t *testing.T) {
+	got := suppressDiags(t, `package anchor
+
+import (
+	"math/rand"
+	"time"
+)
+
+//haten2:allow wallclock demo helper, the clock read is the point
+func mixed() int64 {
+	n := rand.Int63()
+	return time.Now().UnixNano() + n
+}
+`)
+	want := []string{"10:[unseededrand]"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+}
+
+// An allow naming no registered check is itself a finding and
+// suppresses nothing.
+func TestAllowUnknownCheckIsAFinding(t *testing.T) {
+	got := suppressDiags(t, `package anchor
+
+import "time"
+
+func stamped() time.Time {
+	//haten2:allow wall-clock hyphenated name does not exist
+	return time.Now()
+}
+`)
+	want := []string{"6:[allow]", "7:[wallclock]"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,79 @@
+// Fixture for the flow-sensitive half of dfsborrow: taint carried
+// through bindings the syntactic predecessor could not see, and
+// re-bindings that must clear it. The old three-pass check resolved
+// identifiers only through Defs/Uses, so the per-clause objects of type
+// switches (types.Info.Implicits) never picked up taint, and it had no
+// kills, so a variable re-bound to fresh storage stayed tainted
+// forever.
+package mr
+
+// flaggedTypeSwitchRecycle releases the per-clause binding of a type
+// switch. `s` here is the clause's implicit object — invisible to
+// Defs/Uses, so the old check provably missed this leak.
+func flaggedTypeSwitchRecycle(name string) {
+	payload, _, ok, _ := theFS.BlockView(name)
+	if !ok {
+		return
+	}
+	switch s := payload.(type) {
+	case []int64:
+		putSlice(s) // want "slice s aliases DFS block storage"
+	case []int32:
+		putSlice(s) // want "slice s aliases DFS block storage"
+	default:
+		_ = s
+	}
+}
+
+// flaggedRangeElementRecycle collects borrowed payloads into a slice
+// and recycles them element-wise through the range binding; taint has
+// to flow container -> element across the loop header.
+func flaggedRangeElementRecycle(names []string) {
+	var views [][]int64
+	for _, nm := range names {
+		payload, _, ok, _ := theFS.BlockView(nm)
+		if !ok {
+			continue
+		}
+		if s, isT := payload.([]int64); isT {
+			views = append(views, s)
+		}
+	}
+	for _, v := range views {
+		putSlice(v) // want "slice v aliases DFS block storage"
+	}
+}
+
+// okRebindBeforeRecycle re-binds s to fresh storage before the release:
+// the strong kill keeps this clean, where the kill-less predecessor
+// raised a false positive.
+func okRebindBeforeRecycle(name string, n int) {
+	payload, _, ok, _ := theFS.BlockView(name)
+	if !ok {
+		return
+	}
+	s, isT := payload.([]int64)
+	if !isT {
+		return
+	}
+	useBorrow(s)
+	s = make([]int64, n)
+	putSlice(s)
+}
+
+// okTypeSwitchCopy copies inside the clause and recycles the copy, not
+// the binding.
+func okTypeSwitchCopy(name string) {
+	payload, n, ok, _ := theFS.BlockView(name)
+	if !ok {
+		return
+	}
+	switch s := payload.(type) {
+	case []int64:
+		out := make([]int64, n)
+		copy(out, s)
+		putSlice(out)
+	}
+}
+
+func useBorrow(s []int64) {}

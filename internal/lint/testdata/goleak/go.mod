@@ -1,0 +1,3 @@
+module fixture.example/goleak
+
+go 1.22

@@ -1,0 +1,143 @@
+// Fixture mirroring the engine's worker fan-out (internal/mr's
+// runPool): every spawned goroutine must be joined on every path.
+package goleak
+
+import "sync"
+
+// okPoolPattern is runPool's sanctioned shape: Add before each spawn,
+// deferred Done inside the body, Wait on the single path after the
+// loop.
+func okPoolPattern(workers, n int, fn func(int)) {
+	var wg sync.WaitGroup
+	next := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next
+				next++
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// flaggedNoSignal spawns a goroutine whose body signals nothing.
+func flaggedNoSignal(fn func()) {
+	go fn2(fn) // want "goroutine signals no completion"
+}
+
+func fn2(fn func()) { fn() }
+
+// flaggedNoAdd calls Done without a matching Add before the spawn: the
+// Wait can return while the goroutine still runs.
+func flaggedNoAdd(fn func()) {
+	var wg sync.WaitGroup
+	go func() { // want "wg.Add does not run on every path before the spawn"
+		defer wg.Done()
+		fn()
+	}()
+	wg.Wait()
+}
+
+// flaggedNoWait never joins: the goroutine outlives the function.
+func flaggedNoWait(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "wg.Wait does not run on every path after the spawn"
+		defer wg.Done()
+		fn()
+	}()
+}
+
+// flaggedBranchWait joins on only one path; the early return leaks the
+// goroutine. The flow-insensitive reading ("a Wait exists somewhere")
+// would have accepted this.
+func flaggedBranchWait(fn func(), fast bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "wg.Wait does not run on every path after the spawn"
+		defer wg.Done()
+		fn()
+	}()
+	if fast {
+		return
+	}
+	wg.Wait()
+}
+
+// okDeferredWait registers the join before spawning: every normal exit
+// runs it.
+func okDeferredWait(fn func()) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+}
+
+// okChannelJoin receives the goroutine's result on the only path.
+func okChannelJoin(compute func() int) int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+// okChannelRange drains the goroutine's stream to completion.
+func okChannelRange(n int) int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// flaggedChannelNoRecv sends into a channel nobody drains on the early
+// path.
+func flaggedChannelNoRecv(compute func() int, fast bool) int {
+	ch := make(chan int)
+	go func() { // want "no receive from ch runs on every path after the spawn"
+		ch <- compute()
+	}()
+	if fast {
+		return 0
+	}
+	return <-ch
+}
+
+// okHandoff passes the WaitGroup to the worker; the Done obligation
+// travels with the pointer.
+func okHandoff(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg, fn)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup, fn func()) {
+	defer wg.Done()
+	fn()
+}
+
+// suppressed records why one deliberately detached goroutine is
+// acceptable.
+func suppressed(fn func()) {
+	//haten2:allow goleak fixture demonstrating a deliberately detached background goroutine
+	go fn2(fn)
+}

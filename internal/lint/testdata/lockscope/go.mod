@@ -1,0 +1,3 @@
+module fixture.example/lockscope
+
+go 1.22

@@ -1,0 +1,108 @@
+// Fixture mirroring the engine's critical sections (internal/mr's
+// cluster.go, internal/dfs's dfs.go, internal/obs's obs.go): work that
+// belongs outside a held mutex.
+package lockscope
+
+import (
+	"sync"
+
+	"fixture.example/lockscope/internal/dfs"
+	"fixture.example/lockscope/internal/obs"
+)
+
+type cluster struct {
+	mu   sync.Mutex
+	io   sync.Mutex
+	fs   *dfs.FS
+	tr   *obs.Tracer
+	jobs int
+	done chan int
+}
+
+// flaggedDFSUnderLock performs file-system I/O inside the critical
+// section: every other job serializes behind the read.
+func (c *cluster) flaggedDFSUnderLock(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs++
+	c.fs.ReadAll(name) // want "DFS I/O (ReadAll) while c.mu is held"
+}
+
+// flaggedEmitUnderLock emits a trace event while holding the lock.
+func (c *cluster) flaggedEmitUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tr.Emit("jobs", c.jobs) // want "Emit-charged tracing (Emit) while c.mu is held"
+}
+
+// flaggedSendUnderLock publishes to a channel inside the critical
+// section: the send blocks until a receiver is ready, with the lock
+// held the whole time.
+func (c *cluster) flaggedSendUnderLock() {
+	c.mu.Lock()
+	c.done <- c.jobs // want "channel send while c.mu is held"
+	c.mu.Unlock()
+}
+
+// flaggedRecvUnderLock blocks on a receive while holding the lock.
+func (c *cluster) flaggedRecvUnderLock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := <-c.done // want "channel receive while c.mu is held"
+	return v
+}
+
+// flaggedNestedLock acquires a second mutex inside the first.
+func (c *cluster) flaggedNestedLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.io.Lock() // want "acquires c.io while c.mu is held"
+	c.io.Unlock()
+}
+
+// emitStats is clean on its own; the summary records that it emits.
+func (c *cluster) emitStats() {
+	c.tr.Emit("jobs", c.jobs)
+}
+
+// flaggedTransitiveEmit reaches the tracer through a same-package
+// helper: the package summary charges the caller.
+func (c *cluster) flaggedTransitiveEmit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.emitStats() // want "call to emitStats, which emits trace events, while c.mu is held"
+}
+
+// okUnlockedIO releases the lock before the I/O: the flow-sensitive
+// fact set is empty at the read.
+func (c *cluster) okUnlockedIO(name string) {
+	c.mu.Lock()
+	c.jobs++
+	c.mu.Unlock()
+	c.fs.ReadAll(name)
+}
+
+// okLockedCompute does pure in-memory work under the lock.
+func (c *cluster) okLockedCompute(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs += n
+	return c.jobs
+}
+
+// okSequentialLocks never holds both mutexes at once.
+func (c *cluster) okSequentialLocks() {
+	c.mu.Lock()
+	c.jobs++
+	c.mu.Unlock()
+	c.io.Lock()
+	c.io.Unlock()
+}
+
+// suppressed records why one deliberate under-lock emit is acceptable.
+func (c *cluster) suppressed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//haten2:allow lockscope fixture demonstrating suppression of an under-lock emit
+	c.tr.Emit("jobs", c.jobs)
+}

@@ -1,0 +1,75 @@
+// Fixture for the path-sensitive half of poolreturn: leaks that only
+// exist on SOME control-flow paths. The flow-insensitive predecessor
+// accepted any release anywhere in the function, so every flagged case
+// in this file was invisible to it.
+package mr
+
+// flaggedBranchLeak releases only under the condition; the else path
+// falls off the end still holding the buffer. The old check saw "a
+// putSlice mentioning buf somewhere" and stayed quiet.
+func flaggedBranchLeak(xs []int, flush bool) int {
+	buf := getSlice(len(xs)) // want "pooled buffer buf is returned with putSlice on some paths but leaks on others"
+	buf = append(buf, xs...)
+	n := len(buf)
+	if flush {
+		putSlice(buf)
+	}
+	return n
+}
+
+// flaggedEarlyReturnLeak releases on the fall-through path but leaks
+// through the guard's early return.
+func flaggedEarlyReturnLeak(xs []int) int {
+	buf := getSlice(len(xs)) // want "pooled buffer buf is returned with putSlice on some paths but leaks on others"
+	if len(xs) == 0 {
+		return 0
+	}
+	buf = append(buf, xs...)
+	n := len(buf)
+	putSlice(buf)
+	return n
+}
+
+// cleanBothArms releases on every path: the must-analysis finds the
+// obligation settled at the exit no matter which arm ran.
+func cleanBothArms(xs []int, flush bool) {
+	buf := getSlice(len(xs))
+	if flush {
+		putSlice(buf)
+		return
+	}
+	buf = append(buf, xs...)
+	putSlice(buf)
+}
+
+// cleanDeferredRelease registers the release before any branching, so
+// every normal exit runs it.
+func cleanDeferredRelease(xs []int, flush bool) int {
+	buf := getSlice(len(xs))
+	defer putSlice(buf)
+	if flush {
+		return 0
+	}
+	buf = append(buf, xs...)
+	return len(buf)
+}
+
+// cleanPanicPathLeak holds the buffer across a panic: panicking paths
+// never reach the exit block, so only the normal path is charged — and
+// that one releases.
+func cleanPanicPathLeak(xs []int) {
+	buf := getSlice(len(xs))
+	if len(xs) > 1<<20 {
+		panic("unreasonable batch")
+	}
+	putSlice(buf)
+}
+
+// cleanLoopRelease settles the obligation inside the loop that always
+// runs the release before the function can exit normally.
+func cleanLoopRelease(rounds int) {
+	for i := 0; i < rounds; i++ {
+		buf := getSlice(8)
+		putSlice(buf)
+	}
+}

@@ -1,0 +1,155 @@
+// Fixture for data races through closure captures: goroutines that
+// write variables declared outside their own body.
+package sharedcapture
+
+import "sync"
+
+// flaggedCounter increments a captured counter from every worker.
+func flaggedCounter(workers int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want "goroutine writes captured total without a lock held on every path"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// flaggedCompound races through a compound assignment.
+func flaggedCompound(parts []int) int {
+	var wg sync.WaitGroup
+	sum := 0
+	for _, p := range parts {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum += p // want "goroutine writes captured sum without a lock held on every path"
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// flaggedMapWrite races on a shared map: map index writes are not
+// partitionable the way slice index writes are.
+func flaggedMapWrite(keys []string) map[string]int {
+	var wg sync.WaitGroup
+	m := make(map[string]int)
+	for i, k := range keys {
+		i, k := i, k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m[k] = i // want "goroutine writes captured m through a map index without a lock held on every path"
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+type stats struct {
+	n int
+}
+
+// flaggedFieldWrite races on a field of a captured struct.
+func flaggedFieldWrite(workers int) int {
+	var wg sync.WaitGroup
+	var st stats
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.n = 1 // want "goroutine writes captured st through a field without a lock held on every path"
+		}()
+	}
+	wg.Wait()
+	return st.n
+}
+
+// okIndexPartition writes disjoint slice elements: the per-index
+// partitioning idiom the engine's runPool relies on.
+func okIndexPartition(inputs []int, fn func(int) int) []int {
+	var wg sync.WaitGroup
+	res := make([]int, len(inputs))
+	for i, in := range inputs {
+		i, in := i, in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res[i] = fn(in)
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// okMutexGuarded holds the lock across every write.
+func okMutexGuarded(workers int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// flaggedBranchGuard locks on only one path: the unguarded branch still
+// races. A syntactic "a Lock appears in the body" check would have
+// accepted this.
+func flaggedBranchGuard(workers int, careful bool) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if careful {
+				mu.Lock()
+				defer mu.Unlock()
+			}
+			total++ // want "goroutine writes captured total without a lock held on every path"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// okLocal writes only the goroutine's own locals.
+func okLocal(fn func(int) int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		acc := 0
+		for i := 0; i < 8; i++ {
+			acc = fn(acc)
+		}
+	}()
+	wg.Wait()
+}
+
+// suppressed records why one deliberately benign write is acceptable.
+func suppressed(done *bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//haten2:allow sharedcapture fixture demonstrating suppression of a monotonic flag write
+		*done = true
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,3 @@
+module fixture.example/sharedcapture
+
+go 1.22

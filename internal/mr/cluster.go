@@ -392,6 +392,11 @@ func (c *Cluster) record(st JobStats) {
 	t.PenaltySeconds += st.PenaltySeconds
 	t.SimSeconds += st.SimSeconds
 	if c.tracer != nil {
+		// Tracing under c.mu is safe here: obs.Tracer's mu is a leaf lock
+		// (the tracer never calls back into mr), Emit is pure in-memory
+		// append with no I/O, and record is the single serialization point
+		// for job totals, so the trace rows inherit the counters' order.
+		//haten2:allow lockscope tracer mu is a leaf lock and Emit is in-memory only, no inversion or I/O under c.mu
 		c.traceJob(st)
 	}
 }

@@ -535,6 +535,7 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	if job.Output != "" {
 		w, err := c.fs.Create(job.Output)
 		if err != nil {
+			putSlice(all)
 			return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
 		}
 		// One typed block instead of len(all) boxed records: downstream
