@@ -11,11 +11,12 @@
 //	haten2bench -exp mr -mrout BENCH_mr.json  # engine wall-clock sweep
 //	haten2bench -exp faults -faultsout BENCH_faults.json  # fault overhead
 //	haten2bench -exp shuffle -shuffleout BENCH_shuffle.json  # codec A/B
+//	haten2bench -exp storage -storageout BENCH_storage.json  # DFS durability
 //	haten2bench -exp mr -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment ids: table2 table3 table4 table5 table6 table7 table8
 // fig1a fig1b fig1c fig7a fig7b fig7c fig8 nell ablation combiner mr
-// faults shuffle.
+// faults shuffle storage.
 //
 // The mr experiment measures real host wall-clock (not simulated time)
 // of the MapReduce engine across a GOMAXPROCS sweep; -mrout additionally
@@ -28,7 +29,12 @@
 // shuffle experiment compares the fixed-width and columnar shuffle
 // codecs on one PARAFAC-DRI iteration — byte counts, per-record wire
 // cost, and output bit-identity; -shuffleout writes its report to the
-// named JSON file (BENCH_shuffle.json by convention).
+// named JSON file (BENCH_shuffle.json by convention). The storage
+// experiment measures the simulated-time overhead of checksum
+// failover, read-repair, and checkpoint-restart after data loss under
+// seeded corruption/loss plans, verifying factors stay bit-identical;
+// -storageout writes its report to the named JSON file
+// (BENCH_storage.json by convention).
 //
 // -trace writes one Chrome trace_event JSON file (simulated time,
 // DESIGN.md §3e) covering every cluster the selected experiments
@@ -64,6 +70,7 @@ func main() {
 		mrOut      = flag.String("mrout", "", "also write the mr experiment's report to this JSON file")
 		faultsOut  = flag.String("faultsout", "", "also write the faults experiment's report to this JSON file")
 		shuffleOut = flag.String("shuffleout", "", "also write the shuffle experiment's report to this JSON file")
+		storageOut = flag.String("storageout", "", "also write the storage experiment's report to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the experiments) to this file")
 		trace      = flag.String("trace", "", "write a Chrome trace_event JSON file (simulated time) covering the selected experiments to this path")
@@ -79,6 +86,9 @@ func main() {
 	}
 	if *shuffleOut != "" {
 		outs["shuffle"] = *shuffleOut
+	}
+	if *storageOut != "" {
+		outs["storage"] = *storageOut
 	}
 	var tr *obs.Tracer
 	if *trace != "" || *traceSum {
@@ -184,12 +194,13 @@ func run(exp string, full bool, seed int64, jsonOut bool, outs map[string]string
 		"mr":       bench.MRBench,
 		"faults":   bench.Faults,
 		"shuffle":  bench.ShuffleBench,
+		"storage":  bench.Storage,
 	}
 	order := []string{
 		"table2", "table3", "table4", "table5",
 		"fig1a", "fig1b", "fig1c", "fig7a", "fig7b", "fig7c", "fig8",
 		"table6", "table7", "table8", "nell", "ablation", "combiner",
-		"mr", "faults", "shuffle",
+		"mr", "faults", "shuffle", "storage",
 	}
 	var ids []string
 	if exp == "all" {

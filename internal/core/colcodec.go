@@ -5,7 +5,12 @@ package core
 // whole block (a DFS file, or one map task's per-reducer shuffle
 // partition) as contiguous columns:
 //
-//	block   := uvarint(count) || column …
+//	block   := crc32c || uvarint(count) || column …
+//	crc32c  := 4-byte little-endian CRC-32C (Castagnoli) over the rest
+//	           of the block (count through the last value byte) — the
+//	           per-block checksum HDFS keeps beside every block, so a
+//	           flipped bit is a decode error, never a silent wrong
+//	           record
 //	indexes := zigzag-varint delta per record, one column per index
 //	           coordinate (delta against the previous record in the
 //	           same column; the first record deltas against zero)
@@ -34,6 +39,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"math/bits"
 
@@ -76,9 +82,48 @@ func varintLen(x uint64) int64 {
 }
 
 // blockHeaderSize is the header charge for a block of n records: the
-// record-count uvarint.
+// 4-byte CRC-32C field plus the record-count uvarint.
 func blockHeaderSize(n int) int64 {
-	return varintLen(uint64(n))
+	return crcSize + varintLen(uint64(n))
+}
+
+// crcSize is the width of the per-block CRC-32C field.
+const crcSize = 4
+
+// crcTable is the Castagnoli polynomial — what HDFS's per-block
+// checksums (and most storage systems since) use.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// beginBlock reserves a block's CRC field in dst, returning the offset
+// the matching sealBlock fills it at.
+func beginBlock(dst []byte) ([]byte, int) {
+	return append(dst, 0, 0, 0, 0), len(dst)
+}
+
+// sealBlock checksums everything appended since beginBlock and writes
+// it into the reserved field.
+func sealBlock(dst []byte, at int) []byte {
+	binary.LittleEndian.PutUint32(dst[at:], crc32.Checksum(dst[at+crcSize:], crcTable))
+	return dst
+}
+
+// openBlock splits a block's stored CRC from its body.
+func openBlock(src []byte) (stored uint32, body []byte, err error) {
+	if len(src) < crcSize {
+		return 0, src, fmt.Errorf("core: columnar block shorter than its checksum field")
+	}
+	return binary.LittleEndian.Uint32(src), src[crcSize:], nil
+}
+
+// verifyBlock checks the stored CRC against the region a structural
+// decode consumed (body minus the trailing rest). Verification runs
+// after the structural pass so the consumed region is known — blocks
+// allow trailing bytes — but before any decoded record is returned.
+func verifyBlock(stored uint32, body, rest []byte) error {
+	if crc32.Checksum(body[:len(body)-len(rest)], crcTable) != stored {
+		return fmt.Errorf("core: columnar block checksum mismatch")
+	}
+	return nil
 }
 
 // readUvarint decodes one uvarint with explicit error reporting. The
@@ -155,6 +200,7 @@ func decodeDeltaColumn(src []byte, n int, set func(i int, v int64)) ([]byte, err
 // three delta-encoded index columns followed by the value column. Its
 // length is exactly EntryBlockSize(entries).
 func AppendEntryBlock(dst []byte, entries []Entry) []byte {
+	dst, at := beginBlock(dst)
 	dst = binary.AppendUvarint(dst, uint64(len(entries)))
 	for m := 0; m < 3; m++ {
 		dst = appendDeltaColumn(dst, len(entries), func(i int) int64 { return entries[i].Idx[m] })
@@ -162,30 +208,39 @@ func AppendEntryBlock(dst []byte, entries []Entry) []byte {
 	for _, e := range entries {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Val))
 	}
-	return dst
+	return sealBlock(dst, at)
 }
 
 // DecodeEntryBlock parses one block written by AppendEntryBlock,
-// returning the decoded entries and any trailing bytes.
+// returning the decoded entries and any trailing bytes. The block's
+// CRC is verified before any record is returned.
 func DecodeEntryBlock(src []byte) ([]Entry, []byte, error) {
-	n, src, err := readCount(src)
+	stored, body, err := openBlock(src)
+	if err != nil {
+		return nil, src, err
+	}
+	n, cur, err := readCount(body)
 	if err != nil {
 		return nil, src, err
 	}
 	out := make([]Entry, n)
 	for m := 0; m < 3; m++ {
-		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { out[i].Idx[m] = v })
+		cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { out[i].Idx[m] = v })
 		if err != nil {
 			return nil, src, err
 		}
 	}
-	if len(src) < n*8 {
-		return nil, src, fmt.Errorf("core: short Entry block value column: %d bytes for %d records", len(src), n)
+	if len(cur) < n*8 {
+		return nil, src, fmt.Errorf("core: short Entry block value column: %d bytes for %d records", len(cur), n)
 	}
 	for i := range out {
-		out[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+		out[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(cur[i*8:]))
 	}
-	return out, src[n*8:], nil
+	rest := cur[n*8:]
+	if err := verifyBlock(stored, body, rest); err != nil {
+		return nil, src, err
+	}
+	return out, rest, nil
 }
 
 // entryDeltaSize is the incremental size of e appended after prev
@@ -213,41 +268,50 @@ func EntryBlockSize(entries []Entry) int64 {
 // AppendMatEntryBlock appends the columnar encoding of cells: row and
 // col delta columns, then values. Length is MatEntryBlockSize(cells).
 func AppendMatEntryBlock(dst []byte, cells []MatEntry) []byte {
+	dst, at := beginBlock(dst)
 	dst = binary.AppendUvarint(dst, uint64(len(cells)))
 	dst = appendDeltaColumn(dst, len(cells), func(i int) int64 { return cells[i].Row })
 	dst = appendDeltaColumn(dst, len(cells), func(i int) int64 { return int64(cells[i].Col) })
 	for _, c := range cells {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Val))
 	}
-	return dst
+	return sealBlock(dst, at)
 }
 
 // DecodeMatEntryBlock parses one block written by AppendMatEntryBlock.
 func DecodeMatEntryBlock(src []byte) ([]MatEntry, []byte, error) {
-	n, src, err := readCount(src)
+	stored, body, err := openBlock(src)
+	if err != nil {
+		return nil, src, err
+	}
+	n, cur, err := readCount(body)
 	if err != nil {
 		return nil, src, err
 	}
 	out := make([]MatEntry, n)
-	src, err = decodeDeltaColumn(src, n, func(i int, v int64) { out[i].Row = v })
+	cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { out[i].Row = v })
 	if err != nil {
 		return nil, src, err
 	}
 	var rangeErr error
-	src, err = decodeDeltaColumn(src, n, func(i int, v int64) { out[i].Col = int32Checked(v, &rangeErr) })
+	cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { out[i].Col = int32Checked(v, &rangeErr) })
 	if err == nil {
 		err = rangeErr
 	}
 	if err != nil {
 		return nil, src, err
 	}
-	if len(src) < n*8 {
-		return nil, src, fmt.Errorf("core: short MatEntry block value column: %d bytes for %d records", len(src), n)
+	if len(cur) < n*8 {
+		return nil, src, fmt.Errorf("core: short MatEntry block value column: %d bytes for %d records", len(cur), n)
 	}
 	for i := range out {
-		out[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+		out[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(cur[i*8:]))
 	}
-	return out, src[n*8:], nil
+	rest := cur[n*8:]
+	if err := verifyBlock(stored, body, rest); err != nil {
+		return nil, src, err
+	}
+	return out, rest, nil
 }
 
 func matEntryDeltaSize(prev, c MatEntry) int64 {
@@ -290,6 +354,7 @@ func svalPairSize(pk [3]int64, pv sval, k [3]int64, v sval) int64 {
 // blockHeaderSize(n) + Σ svalPairSize over consecutive pairs.
 func appendSValBlock(dst []byte, keys [][3]int64, vals []sval) []byte {
 	n := len(keys)
+	dst, at := beginBlock(dst)
 	dst = binary.AppendUvarint(dst, uint64(n))
 	for m := 0; m < 3; m++ {
 		dst = appendDeltaColumn(dst, n, func(i int) int64 { return keys[i][m] })
@@ -304,51 +369,59 @@ func appendSValBlock(dst []byte, keys [][3]int64, vals []sval) []byte {
 	for _, v := range vals {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.val))
 	}
-	return dst
+	return sealBlock(dst, at)
 }
 
 // decodeSValBlock parses one block written by appendSValBlock.
 func decodeSValBlock(src []byte) (keys [][3]int64, vals []sval, rest []byte, err error) {
-	n, src, err := readCount(src)
+	stored, body, err := openBlock(src)
+	if err != nil {
+		return nil, nil, src, err
+	}
+	n, cur, err := readCount(body)
 	if err != nil {
 		return nil, nil, src, err
 	}
 	keys = make([][3]int64, n)
 	vals = make([]sval, n)
 	for m := 0; m < 3; m++ {
-		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { keys[i][m] = v })
+		cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { keys[i][m] = v })
 		if err != nil {
 			return nil, nil, src, err
 		}
 	}
-	if len(src) < n {
+	if len(cur) < n {
 		return nil, nil, src, fmt.Errorf("core: short sval block tag column")
 	}
 	for i := 0; i < n; i++ {
-		vals[i].tag = src[i]
+		vals[i].tag = cur[i]
 	}
-	src = src[n:]
+	cur = cur[n:]
 	for m := 0; m < 3; m++ {
-		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { vals[i].idx[m] = v })
+		cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { vals[i].idx[m] = v })
 		if err != nil {
 			return nil, nil, src, err
 		}
 	}
 	var rangeErr error
-	src, err = decodeDeltaColumn(src, n, func(i int, v int64) { vals[i].col = int32Checked(v, &rangeErr) })
+	cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { vals[i].col = int32Checked(v, &rangeErr) })
 	if err == nil {
 		err = rangeErr
 	}
 	if err != nil {
 		return nil, nil, src, err
 	}
-	if len(src) < n*8 {
+	if len(cur) < n*8 {
 		return nil, nil, src, fmt.Errorf("core: short sval block value column")
 	}
 	for i := 0; i < n; i++ {
-		vals[i].val = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+		vals[i].val = math.Float64frombits(binary.LittleEndian.Uint64(cur[i*8:]))
 	}
-	return keys, vals, src[n*8:], nil
+	rest = cur[n*8:]
+	if err := verifyBlock(stored, body, rest); err != nil {
+		return nil, nil, src, err
+	}
+	return keys, vals, rest, nil
 }
 
 // --- nsval shuffle blocks (the N-way plan jobs) -----------------------
@@ -371,6 +444,7 @@ func nsvalPairSize(pk [2]int64, pv nsval, k [2]int64, v nsval) int64 {
 // appendNSValBlock encodes one N-way shuffle partition block.
 func appendNSValBlock(dst []byte, keys [][2]int64, vals []nsval) []byte {
 	n := len(keys)
+	dst, at := beginBlock(dst)
 	dst = binary.AppendUvarint(dst, uint64(n))
 	for m := 0; m < 2; m++ {
 		dst = appendDeltaColumn(dst, n, func(i int) int64 { return keys[i][m] })
@@ -389,54 +463,62 @@ func appendNSValBlock(dst []byte, keys [][2]int64, vals []nsval) []byte {
 	for _, v := range vals {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.val))
 	}
-	return dst
+	return sealBlock(dst, at)
 }
 
 // decodeNSValBlock parses one block written by appendNSValBlock.
 func decodeNSValBlock(src []byte) (keys [][2]int64, vals []nsval, rest []byte, err error) {
-	n, src, err := readCount(src)
+	stored, body, err := openBlock(src)
+	if err != nil {
+		return nil, nil, src, err
+	}
+	n, cur, err := readCount(body)
 	if err != nil {
 		return nil, nil, src, err
 	}
 	keys = make([][2]int64, n)
 	vals = make([]nsval, n)
 	for m := 0; m < 2; m++ {
-		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { keys[i][m] = v })
+		cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { keys[i][m] = v })
 		if err != nil {
 			return nil, nil, src, err
 		}
 	}
-	if len(src) < n {
+	if len(cur) < n {
 		return nil, nil, src, fmt.Errorf("core: short nsval block side column")
 	}
 	for i := 0; i < n; i++ {
-		if src[i] > 1 {
-			return nil, nil, src, fmt.Errorf("core: bad nsval side byte %d", src[i])
+		if cur[i] > 1 {
+			return nil, nil, src, fmt.Errorf("core: bad nsval side byte %d", cur[i])
 		}
-		vals[i].isMat = src[i] != 0
+		vals[i].isMat = cur[i] != 0
 	}
-	src = src[n:]
+	cur = cur[n:]
 	for m := 0; m < maxOrder; m++ {
-		src, err = decodeDeltaColumn(src, n, func(i int, v int64) { vals[i].idx[m] = v })
+		cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { vals[i].idx[m] = v })
 		if err != nil {
 			return nil, nil, src, err
 		}
 	}
 	var rangeErr error
-	src, err = decodeDeltaColumn(src, n, func(i int, v int64) { vals[i].col = int32Checked(v, &rangeErr) })
+	cur, err = decodeDeltaColumn(cur, n, func(i int, v int64) { vals[i].col = int32Checked(v, &rangeErr) })
 	if err == nil {
 		err = rangeErr
 	}
 	if err != nil {
 		return nil, nil, src, err
 	}
-	if len(src) < n*8 {
+	if len(cur) < n*8 {
 		return nil, nil, src, fmt.Errorf("core: short nsval block value column")
 	}
 	for i := 0; i < n; i++ {
-		vals[i].val = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+		vals[i].val = math.Float64frombits(binary.LittleEndian.Uint64(cur[i*8:]))
 	}
-	return keys, vals, src[n*8:], nil
+	rest = cur[n*8:]
+	if err := verifyBlock(stored, body, rest); err != nil {
+		return nil, nil, src, err
+	}
+	return keys, vals, rest, nil
 }
 
 // Shared sizer instances: one per shuffle pair shape, so every job of

@@ -33,6 +33,10 @@ type Options struct {
 	// Replication is the number of replicas written per block. Defaults
 	// to 3, HDFS's default.
 	Replication int
+	// Machines is the number of simulated datanodes replicas are placed
+	// across. Defaults to Replication, the smallest cluster on which
+	// every block can keep fully distinct copies.
+	Machines int
 }
 
 // Stats aggregates the I/O the file system has performed.
@@ -46,6 +50,15 @@ type Stats struct {
 	FilesCreated   int64
 	FilesDeleted   int64
 	FilesAborted   int64 // staged files discarded before publication
+
+	// Storage-failure accounting (see storage.go). Faults move these
+	// counters and simulated time only — never the bytes a reader sees.
+	CorruptBlocks  int64 // replica copies whose checksum verification failed
+	LostReplicas   int64 // replica copies missing at read/scrub time
+	FailoverReads  int64 // reads retried on the next replica after a bad copy
+	FailoverBytes  int64 // bytes re-read from further replicas during failover
+	ReReplications int64 // replica copies restored to reach the target factor
+	ScrubBytes     int64 // bytes copied while re-replicating bad copies
 }
 
 // Add accumulates other into s.
@@ -59,6 +72,12 @@ func (s *Stats) Add(other Stats) {
 	s.FilesCreated += other.FilesCreated
 	s.FilesDeleted += other.FilesDeleted
 	s.FilesAborted += other.FilesAborted
+	s.CorruptBlocks += other.CorruptBlocks
+	s.LostReplicas += other.LostReplicas
+	s.FailoverReads += other.FailoverReads
+	s.FailoverBytes += other.FailoverBytes
+	s.ReReplications += other.ReReplications
+	s.ScrubBytes += other.ScrubBytes
 }
 
 type file struct {
@@ -71,6 +90,42 @@ type file struct {
 	typed any
 	count int
 	bytes int64
+
+	// digest is the running splitmix64 fold over the file's write
+	// pattern; sums snapshots it once per completed block (plus the
+	// trailing partial block at Close), giving each block a checksum
+	// computed incrementally at append time — the zero-copy BlockView
+	// path verifies against these before lending the payload out.
+	digest uint64
+	sums   []uint64
+	// repl is the replication factor the file was published with.
+	repl int
+	// healed and detected track per-replica-copy state, indexed
+	// block*repl+replica and allocated lazily on the first storage
+	// fault. healed marks copies restored by read-repair or Scrub
+	// (they verify clean from then on); detected memoizes bad copies
+	// so each is counted in Stats exactly once no matter how many
+	// times a doomed block is re-read.
+	healed   []bool
+	detected []bool
+}
+
+// fold mixes one append event into the running digest and snapshots a
+// checksum for every block the write completed. Called with fs.mu held,
+// after f.bytes has been advanced.
+func (f *file) fold(evt uint64, blockSize int64) {
+	f.digest = storageMix(f.digest ^ storageMix(evt+0x9e3779b97f4a7c15))
+	for int64(len(f.sums)) < f.bytes/blockSize {
+		f.sums = append(f.sums, f.digest)
+	}
+}
+
+// blockSpan returns the logical bytes stored in block b.
+func (f *file) blockSpan(b int, blockSize int64) int64 {
+	if int64(b+1)*blockSize <= f.bytes {
+		return blockSize
+	}
+	return f.bytes - int64(b)*blockSize
 }
 
 // materialize builds the boxed per-record view of a block-written file.
@@ -105,6 +160,8 @@ type FS struct {
 	// into place on commit.
 	staging map[string]*file
 	stats   Stats
+	// faults is the installed storage fault plan; nil runs clean.
+	faults *StorageFaults
 }
 
 // New returns an empty file system with the given options
@@ -115,6 +172,9 @@ func New(opts Options) *FS {
 	}
 	if opts.Replication <= 0 {
 		opts.Replication = 3
+	}
+	if opts.Machines <= 0 {
+		opts.Machines = opts.Replication
 	}
 	return &FS{opts: opts, files: make(map[string]*file), staging: make(map[string]*file)}
 }
@@ -154,10 +214,29 @@ func (fs *FS) Create(name string) (*Writer, error) {
 // accounted immediately. Writers are safe for concurrent use. The file
 // becomes visible only when Close commits it; Abort discards it.
 type Writer struct {
-	fs   *FS
-	name string
-	f    *file
-	done bool // closed or aborted (guarded by fs.mu)
+	fs    *FS
+	name  string
+	f     *file
+	state writerState // guarded by fs.mu
+}
+
+type writerState uint8
+
+const (
+	writerOpen writerState = iota
+	writerClosed
+	writerAborted
+)
+
+// mustBeOpen panics with a precise lifecycle message when the writer has
+// already been closed or aborted. Called with fs.mu held.
+func (w *Writer) mustBeOpen(op string) {
+	switch w.state {
+	case writerClosed:
+		panic(fmt.Sprintf("dfs: %s on closed writer: file %q was already published", op, w.name))
+	case writerAborted:
+		panic(fmt.Sprintf("dfs: %s on aborted writer: file %q was discarded", op, w.name))
+	}
 }
 
 // Append adds one record to the file. Appending to a closed or aborted
@@ -165,15 +244,14 @@ type Writer struct {
 func (w *Writer) Append(data any, size int64) {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
-	if w.done {
-		panic("dfs: Append on a closed or aborted writer")
-	}
+	w.mustBeOpen("Append")
 	if w.f.typed != nil {
 		panic("dfs: Append on a block-written file")
 	}
 	w.f.records = append(w.f.records, Record{Data: data, Size: size})
 	w.f.count++
 	w.f.bytes += size
+	w.f.fold(uint64(size), w.fs.opts.BlockSize)
 	w.fs.stats.BytesWritten += size
 	w.fs.stats.BytesReplWrite += size * int64(w.fs.opts.Replication)
 	w.fs.stats.RecordsWritten++
@@ -183,9 +261,7 @@ func (w *Writer) Append(data any, size int64) {
 func (w *Writer) AppendAll(recs []Record) {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
-	if w.done {
-		panic("dfs: AppendAll on a closed or aborted writer")
-	}
+	w.mustBeOpen("AppendAll")
 	if w.f.typed != nil {
 		panic("dfs: AppendAll on a block-written file")
 	}
@@ -193,6 +269,7 @@ func (w *Writer) AppendAll(recs []Record) {
 	w.f.count += len(recs)
 	for _, r := range recs {
 		w.f.bytes += r.Size
+		w.f.fold(uint64(r.Size), w.fs.opts.BlockSize)
 		w.fs.stats.BytesWritten += r.Size
 		w.fs.stats.BytesReplWrite += r.Size * int64(w.fs.opts.Replication)
 	}
@@ -209,9 +286,7 @@ func (w *Writer) AppendAll(recs []Record) {
 func (w *Writer) AppendBlock(payload any, count int, size int64) {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
-	if w.done {
-		panic("dfs: AppendBlock on a closed or aborted writer")
-	}
+	w.mustBeOpen("AppendBlock")
 	if w.f.typed != nil || len(w.f.records) > 0 {
 		panic("dfs: AppendBlock on a non-empty file")
 	}
@@ -221,46 +296,56 @@ func (w *Writer) AppendBlock(payload any, count int, size int64) {
 	w.f.typed = payload
 	w.f.count = count
 	w.f.bytes += size
+	w.f.fold(storageMix(uint64(count))^uint64(size), w.fs.opts.BlockSize)
 	w.fs.stats.BytesWritten += size
 	w.fs.stats.BytesReplWrite += size * int64(w.fs.opts.Replication)
 	w.fs.stats.RecordsWritten += int64(count)
 }
 
-// Close atomically publishes the file and charges block-level
-// accounting. Calling Close again — or after Abort — is a no-op, so
-// cleanup paths may close unconditionally.
+// Close atomically publishes the file, finalizes its per-block
+// checksums, and charges block-level accounting. The publish happens
+// exactly once: a second Close, or Close after Abort, panics — the
+// commit protocol treats a double commit as task-attempt corruption.
 func (w *Writer) Close() {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
-	if w.done {
-		return
+	switch w.state {
+	case writerClosed:
+		panic(fmt.Sprintf("dfs: double Close of writer: file %q was already published", w.name))
+	case writerAborted:
+		panic(fmt.Sprintf("dfs: Close after Abort of writer: file %q was discarded", w.name))
 	}
-	w.done = true
+	w.state = writerClosed
 	delete(w.fs.staging, w.name)
 	w.fs.files[w.name] = w.f
-	blocks := (w.f.bytes + w.fs.opts.BlockSize - 1) / w.fs.opts.BlockSize
-	if w.f.bytes > 0 && blocks == 0 {
-		blocks = 1
+	if w.f.bytes%w.fs.opts.BlockSize != 0 {
+		// Checksum the trailing partial block; full blocks were
+		// snapshotted as the appends crossed their boundaries.
+		w.f.sums = append(w.f.sums, w.f.digest)
 	}
-	w.fs.stats.BlocksWritten += blocks
+	w.f.repl = w.fs.opts.Replication
+	w.fs.stats.BlocksWritten += int64(len(w.f.sums))
 }
 
 // Abort discards a staged file, releasing its name. The bytes already
 // appended stay charged in Stats — the physical writes happened before
 // the attempt died — but no reader ever observes the partial file.
-// Abort after Close (or a second Abort) is a no-op.
+// Abort after Close (or a second Abort) is a no-op, so cleanup paths
+// may abort unconditionally.
 func (w *Writer) Abort() {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
-	if w.done {
+	if w.state != writerOpen {
 		return
 	}
-	w.done = true
+	w.state = writerAborted
 	delete(w.fs.staging, w.name)
 	w.fs.stats.FilesAborted++
 }
 
-// ReadAll returns all records of a file and charges a full read.
+// ReadAll returns all records of a file and charges a full read. Every
+// block is checksum-verified first, failing over across replicas; a
+// block with no good replica fails the read with *ErrDataLoss.
 // The returned slice aliases file storage; callers must not mutate it.
 func (fs *FS) ReadAll(name string) ([]Record, error) {
 	fs.mu.Lock()
@@ -268,6 +353,9 @@ func (fs *FS) ReadAll(name string) ([]Record, error) {
 	f, ok := fs.files[name]
 	if !ok {
 		return nil, &ErrNotExist{Name: name}
+	}
+	if err := fs.verifyRead(name, f); err != nil {
+		return nil, err
 	}
 	f.materialize()
 	fs.stats.BytesRead += f.bytes
@@ -292,6 +380,12 @@ func (fs *FS) BlockView(name string) (payload any, count int, ok bool, err error
 	}
 	if f.typed == nil {
 		return nil, 0, false, nil
+	}
+	// Verify against the checksums computed at AppendBlock time before
+	// lending the pooled slab out; a bad block must surface here, not
+	// as a silent wrong decode downstream.
+	if err := fs.verifyRead(name, f); err != nil {
+		return nil, 0, false, err
 	}
 	fs.stats.BytesRead += f.bytes
 	fs.stats.RecordsRead += int64(f.count)

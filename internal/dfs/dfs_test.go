@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -259,25 +260,63 @@ func TestAbortDiscardsStagedFile(t *testing.T) {
 	}
 }
 
-func TestDoubleCloseIdempotent(t *testing.T) {
+func TestDoubleClosePanics(t *testing.T) {
 	fs := New(Options{BlockSize: 10})
 	w, _ := fs.Create("f")
 	w.Append(1, 25)
 	w.Close()
-	blocks := fs.Stats().BlocksWritten
-	w.Close() // must not double-charge or re-publish
-	if got := fs.Stats().BlocksWritten; got != blocks {
-		t.Fatalf("double Close recharged blocks: %d -> %d", blocks, got)
-	}
-	// Close after Abort must not publish.
-	wa, _ := fs.Create("g")
-	wa.Abort()
-	wa.Close()
-	if fs.Exists("g") {
-		t.Fatal("Close after Abort published the file")
-	}
-	// Double Abort is likewise a no-op.
-	wa.Abort()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double Close did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "double Close") || !strings.Contains(msg, `"f"`) {
+			t.Fatalf("double Close panic message unclear: %v", r)
+		}
+	}()
+	w.Close()
+}
+
+func TestCloseAfterAbortPanics(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("g")
+	w.Abort()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Close after Abort did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "Close after Abort") || !strings.Contains(msg, `"g"`) {
+			t.Fatalf("Close-after-Abort panic message unclear: %v", r)
+		}
+		if fs.Exists("g") {
+			t.Fatal("Close after Abort published the file")
+		}
+	}()
+	w.Close()
+}
+
+func TestAppendAfterAbortPanics(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("h")
+	w.Abort()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Append after Abort did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "aborted writer") || !strings.Contains(msg, `"h"`) {
+			t.Fatalf("Append-after-Abort panic message unclear: %v", r)
+		}
+	}()
+	w.Append(1, 1)
+}
+
+func TestDoubleAbortNoOp(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("g")
+	w.Abort()
+	w.Abort()
 	if fs.Stats().FilesAborted != 1 {
 		t.Fatalf("FilesAborted=%d after double Abort", fs.Stats().FilesAborted)
 	}

@@ -1,0 +1,384 @@
+// Storage failure model: replicated, checksummed blocks with seeded
+// corruption injection, read-path failover, and scrub/re-replication.
+//
+// Every published file carries one checksum per block, computed
+// incrementally while the writer appends (dfs.go). Each block is stored
+// as Replication copies placed across the simulated machines by a pure
+// hash of (file, block, replica) — no scheduler state — so placement is
+// a deterministic property of the file system's contents.
+//
+// Faults are injected the same way mr.FaultPlan injects task faults:
+// whether one replica copy of one block is corrupt or lost is a pure
+// splitmix64 hash of (seed, file, block, replica), evaluated lazily at
+// read or scrub time. Because the decision never consults scheduling
+// state, the set of bad copies is identical at every GOMAXPROCS level
+// and across runs. Corruption and loss move simulated time and the
+// Stats counters only; payload bytes are never mutated, so a fault can
+// change what a read costs but never what it returns — the repo's
+// standing invariant, extended to storage.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StorageFaults seeds deterministic storage failures, mirroring the
+// compute-side mr.FaultPlan. The zero rate disables a fault class.
+type StorageFaults struct {
+	// Seed namespaces every hash decision below.
+	Seed int64
+	// CorruptRate is the probability that one replica copy of one
+	// block is silently corrupt on disk: its checksum verification
+	// fails at read time and the reader fails over to the next copy.
+	CorruptRate float64
+	// LossRate is the probability that one replica copy of one block
+	// is missing (datanode died after the write): the copy is skipped
+	// without a wasted read, but still costs a re-replication.
+	LossRate float64
+}
+
+// InstallFaults installs (or, with nil, removes) a storage fault plan.
+// Copies already healed by read-repair or Scrub stay healed — repairs
+// are physical, not plan state.
+func (fs *FS) InstallFaults(p *StorageFaults) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if p == nil {
+		fs.faults = nil
+		return
+	}
+	q := *p
+	fs.faults = &q
+}
+
+// ErrCorrupt reports a checksum mismatch on one replica copy of one
+// block. Reads fail over past it, so callers only observe ErrCorrupt
+// wrapped inside ErrDataLoss, when no copy was left to fail over to.
+type ErrCorrupt struct {
+	File    string
+	Block   int
+	Replica int
+}
+
+func (e *ErrCorrupt) Error() string {
+	return fmt.Sprintf("dfs: file %q block %d replica %d: checksum mismatch", e.File, e.Block, e.Replica)
+}
+
+// ErrDataLoss is terminal: every replica copy of one block is corrupt
+// or lost, so the file cannot be read. Recovery is above the file
+// system — the cluster falls back to checkpoint-resume.
+type ErrDataLoss struct {
+	File     string
+	Block    int
+	Replicas int // replication factor the file was written with
+	// Cause is the first checksum mismatch observed, nil when every
+	// copy was lost outright.
+	Cause *ErrCorrupt
+}
+
+func (e *ErrDataLoss) Error() string {
+	return fmt.Sprintf("dfs: file %q block %d: data loss, all %d replicas bad", e.File, e.Block, e.Replicas)
+}
+
+// Unwrap exposes the underlying checksum mismatch to errors.As.
+func (e *ErrDataLoss) Unwrap() error {
+	if e.Cause == nil {
+		return nil
+	}
+	return e.Cause
+}
+
+// storageMix is the splitmix64 finalizer, the same mixer mr.FaultPlan
+// uses for task faults.
+func storageMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nameHash folds a file name into one 64-bit value (FNV-1a, finalized
+// through storageMix) so fault and placement decisions can hash it with
+// the other coordinates.
+func nameHash(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return storageMix(h)
+}
+
+// decision kinds keep the hash streams for loss, corruption, and
+// placement disjoint.
+const (
+	kindLoss uint64 = iota + 1
+	kindCorrupt
+	kindPlace
+)
+
+// storageHash chains the coordinates of one decision through the mixer.
+func storageHash(seed uint64, parts ...uint64) uint64 {
+	h := storageMix(seed)
+	for _, p := range parts {
+		h = storageMix(h ^ storageMix(p+0x9e3779b97f4a7c15))
+	}
+	return h
+}
+
+// roll maps a hash to [0, 1).
+func roll(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Replica copy states, resolved lazily from the fault plan.
+const (
+	repGood = iota
+	repCorrupt
+	repLost
+)
+
+// copyState resolves the state of replica r of block b. Healed copies
+// are good regardless of the plan. Loss is checked before corruption: a
+// missing copy cannot also mismatch. Called with fs.mu held.
+func (fs *FS) copyState(f *file, nh uint64, b, r int) int {
+	if f.healed != nil && f.healed[b*f.repl+r] {
+		return repGood
+	}
+	p := fs.faults
+	if p == nil {
+		return repGood
+	}
+	if p.LossRate > 0 && roll(storageHash(uint64(p.Seed), nh, uint64(b), uint64(r), kindLoss)) < p.LossRate {
+		return repLost
+	}
+	if p.CorruptRate > 0 && roll(storageHash(uint64(p.Seed), nh, uint64(b), uint64(r), kindCorrupt)) < p.CorruptRate {
+		return repCorrupt
+	}
+	return repGood
+}
+
+// markDetected memoizes the first detection of a bad copy so Stats
+// counts it exactly once, and charges the counters for its class.
+// Failover bytes are charged here too: the wasted read of a corrupt
+// copy happens when it is first tried (a lost copy is skipped from
+// metadata and costs no read). Called with fs.mu held.
+func (fs *FS) markDetected(f *file, b, r, state int) {
+	if f.detected == nil {
+		f.detected = make([]bool, len(f.sums)*f.repl)
+	}
+	idx := b*f.repl + r
+	if f.detected[idx] {
+		return
+	}
+	f.detected[idx] = true
+	switch state {
+	case repCorrupt:
+		fs.stats.CorruptBlocks++
+		fs.stats.FailoverReads++
+		fs.stats.FailoverBytes += f.blockSpan(b, fs.opts.BlockSize)
+	case repLost:
+		fs.stats.LostReplicas++
+	}
+}
+
+// heal restores one replica copy to the target factor and charges the
+// re-replication: one block span copied from a good replica. Called
+// with fs.mu held.
+func (fs *FS) heal(f *file, b, r int) {
+	if f.healed == nil {
+		f.healed = make([]bool, len(f.sums)*f.repl)
+	}
+	f.healed[b*f.repl+r] = true
+	fs.stats.ReReplications++
+	fs.stats.ScrubBytes += f.blockSpan(b, fs.opts.BlockSize)
+}
+
+// verifyRead checksums every block of a file along the read path: scan
+// replicas in placement order, fail over past bad copies to the first
+// good one, then scrub (re-replicate) the bad copies just crossed so
+// the block is back at its target factor for the next reader. A block
+// with no good copy fails the read with *ErrDataLoss. Called with
+// fs.mu held.
+func (fs *FS) verifyRead(name string, f *file) error {
+	if fs.faults == nil {
+		return nil
+	}
+	nh := nameHash(name)
+	for b := range f.sums {
+		if err := fs.verifyBlockRead(f, name, nh, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyBlockRead runs the failover sequence for one block. Called with
+// fs.mu held.
+func (fs *FS) verifyBlockRead(f *file, name string, nh uint64, b int) error {
+	var bad []int
+	var firstBad *ErrCorrupt
+	for r := 0; r < f.repl; r++ {
+		state := fs.copyState(f, nh, b, r)
+		if state == repGood {
+			// Read succeeds from this copy; read-repair the bad
+			// copies crossed on the way here.
+			for _, rb := range bad {
+				fs.heal(f, b, rb)
+			}
+			return nil
+		}
+		fs.markDetected(f, b, r, state)
+		bad = append(bad, r)
+		if state == repCorrupt && firstBad == nil {
+			firstBad = &ErrCorrupt{File: name, Block: b, Replica: r}
+		}
+	}
+	return &ErrDataLoss{File: name, Block: b, Replicas: f.repl, Cause: firstBad}
+}
+
+// verifyFileFull examines every replica copy of every block — the full
+// scrub an fsck pass does, not the first-good-copy walk of the read
+// path — healing all bad copies of recoverable blocks and reporting
+// the first unrecoverable one. Called with fs.mu held.
+func (fs *FS) verifyFileFull(name string, f *file) (restored int64, restoredBytes int64, err error) {
+	nh := nameHash(name)
+	for b := range f.sums {
+		good := false
+		var bad []int
+		var firstBad *ErrCorrupt
+		for r := 0; r < f.repl; r++ {
+			state := fs.copyState(f, nh, b, r)
+			if state == repGood {
+				good = true
+				continue
+			}
+			fs.markDetected(f, b, r, state)
+			bad = append(bad, r)
+			if state == repCorrupt && firstBad == nil {
+				firstBad = &ErrCorrupt{File: name, Block: b, Replica: r}
+			}
+		}
+		if !good {
+			if err == nil {
+				err = &ErrDataLoss{File: name, Block: b, Replicas: f.repl, Cause: firstBad}
+			}
+			continue
+		}
+		for _, r := range bad {
+			fs.heal(f, b, r)
+			restored++
+			restoredBytes += f.blockSpan(b, fs.opts.BlockSize)
+		}
+	}
+	return restored, restoredBytes, err
+}
+
+// VerifyFile checksums every replica copy of every block of one file,
+// re-replicating bad copies back to the target factor. It returns
+// *ErrDataLoss when some block has no good copy left (recoverable
+// blocks are still healed first).
+func (fs *FS) VerifyFile(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return &ErrNotExist{Name: name}
+	}
+	_, _, err := fs.verifyFileFull(name, f)
+	return err
+}
+
+// ScrubReport summarizes one full Scrub pass.
+type ScrubReport struct {
+	FilesScanned     int64
+	BlocksScanned    int64
+	ReplicasRestored int64
+	BytesRestored    int64
+}
+
+// Scrub checksums every replica copy of every block of every file, in
+// lexical file order, healing what it can. It returns the first
+// *ErrDataLoss found (after completing the pass) so callers learn both
+// the damage and the repairs.
+func (fs *FS) Scrub() (ScrubReport, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var rep ScrubReport
+	var firstErr error
+	for _, n := range names {
+		f := fs.files[n]
+		rep.FilesScanned++
+		rep.BlocksScanned += int64(len(f.sums))
+		restored, bytes, err := fs.verifyFileFull(n, f)
+		rep.ReplicasRestored += restored
+		rep.BytesRestored += bytes
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return rep, firstErr
+}
+
+// BlockChecksums returns a copy of a file's per-block checksums, as
+// computed incrementally at append time.
+func (fs *FS) BlockChecksums(name string) ([]uint64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, &ErrNotExist{Name: name}
+	}
+	sums := make([]uint64, len(f.sums))
+	copy(sums, f.sums)
+	return sums, nil
+}
+
+// Placement returns, for each block of a file, the machines its
+// replicas are placed on, in failover order. Placement is a pure hash
+// of (file, block, replica): replicas of one block land on distinct
+// machines while the cluster has enough of them (machines wrap only
+// when Replication exceeds Machines), and the same file always places
+// identically, independent of scheduling or fault state.
+func (fs *FS) Placement(name string) ([][]int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, &ErrNotExist{Name: name}
+	}
+	nh := nameHash(name)
+	out := make([][]int, len(f.sums))
+	for b := range out {
+		out[b] = placeBlock(nh, b, f.repl, fs.opts.Machines)
+	}
+	return out, nil
+}
+
+// placeBlock picks the machines for one block's replicas: each replica
+// draws without replacement from the machines not yet holding a copy,
+// refilling the pool only when the factor exceeds the cluster.
+func placeBlock(nh uint64, b, repl, machines int) []int {
+	out := make([]int, 0, repl)
+	var avail []int
+	for r := 0; r < repl; r++ {
+		if len(avail) == 0 {
+			avail = make([]int, machines)
+			for m := range avail {
+				avail[m] = m
+			}
+		}
+		k := int(storageHash(0, nh, uint64(b), uint64(r), kindPlace) % uint64(len(avail)))
+		out = append(out, avail[k])
+		avail = append(avail[:k], avail[k+1:]...)
+	}
+	return out
+}

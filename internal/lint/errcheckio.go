@@ -10,10 +10,11 @@ import (
 // (package internal/dfs) and the model persistence layer (persist.go).
 // Those errors are the job plans' only signal that a stage failed —
 // a missing intermediate file, a write refused by the write-once rule,
-// a truncated model — and a dropped one silently corrupts the counters
-// the paper's tables are reproduced from. Flagged forms: a call used as
-// a bare statement, a call under go/defer, and an error result assigned
-// to the blank identifier.
+// a truncated model, a block whose every replica failed its checksum
+// (VerifyFile/Scrub return *ErrDataLoss) — and a dropped one silently
+// corrupts the counters the paper's tables are reproduced from.
+// Flagged forms: a call used as a bare statement, a call under
+// go/defer, and an error result assigned to the blank identifier.
 var ErrcheckIO = &Analyzer{
 	Name: "errcheck-io",
 	Doc:  "no discarded error returns from internal/dfs and persist.go APIs",

@@ -14,6 +14,8 @@ func flaggedDiscards(fs *dfs.FS, w io.Writer) {
 	_ = fs.Delete("part-1")    // want "error from dfs.Delete is assigned to _"
 	_, _ = fs.Create("part-2") // want "error from dfs.Create is assigned to _"
 	defer fs.Delete("part-3")  // want "error from dfs.Delete is discarded"
+	fs.VerifyFile("part-0")    // want "error from dfs.VerifyFile is discarded"
+	_, _ = fs.Scrub()          // want "error from dfs.Scrub is assigned to _"
 	Save(w)                    // want "error from errcheckio.Save is discarded"
 	_ = Save(w)                // want "error from errcheckio.Save is assigned to _"
 }
@@ -26,6 +28,12 @@ func cleanChecked(fs *dfs.FS, w io.Writer) error {
 	}
 	_ = f
 	if err := Save(w); err != nil {
+		return err
+	}
+	if err := fs.VerifyFile("part-4"); err != nil {
+		return err
+	}
+	if _, err := fs.Scrub(); err != nil {
 		return err
 	}
 	return fs.Delete("part-4")

@@ -123,6 +123,20 @@ type JobStats struct {
 	// the critical path of re-executions, exponential retry backoff, and
 	// straggler lag (net of speculative rescue).
 	PenaltySeconds float64
+	// Storage-fault accounting, populated when the installed plan's
+	// storage section is active: the per-job delta of the dfs.Stats
+	// counters of the same names, attributed to the job whose input
+	// reads detected the bad copies.
+	CorruptBlocks  int64
+	LostReplicas   int64
+	FailoverReads  int64
+	FailoverBytes  int64
+	ReReplications int64
+	ScrubBytes     int64
+	// StorageSeconds is the simulated time of failover re-reads and
+	// re-replication scrubs, added to SimSeconds alongside
+	// PenaltySeconds.
+	StorageSeconds float64
 	SimSeconds     float64
 }
 
@@ -150,7 +164,16 @@ type Totals struct {
 	WastedRecords    int64
 	WastedBytes      int64
 	PenaltySeconds   float64
-	SimSeconds       float64
+	// Storage-fault aggregates (see the JobStats fields of the same
+	// names).
+	CorruptBlocks  int64
+	LostReplicas   int64
+	FailoverReads  int64
+	FailoverBytes  int64
+	ReReplications int64
+	ScrubBytes     int64
+	StorageSeconds float64
+	SimSeconds     float64
 }
 
 // ErrResourceExhausted reports that a job exceeded the cluster's
@@ -224,9 +247,13 @@ type shuffleHint struct {
 	outPerReducer   int64 // output records per reduce task
 }
 
-// NewCluster creates a cluster with cfg and a fresh DFS.
+// NewCluster creates a cluster with cfg and a fresh DFS whose replicas
+// are placed across the cluster's machines.
 func NewCluster(cfg Config) *Cluster {
-	return NewClusterWithFS(cfg, dfs.New(dfs.Options{}))
+	if cfg.Machines <= 0 {
+		cfg.Machines = 1
+	}
+	return NewClusterWithFS(cfg, dfs.New(dfs.Options{Machines: cfg.Machines}))
 }
 
 // NewClusterWithFS creates a cluster backed by an existing file system —
@@ -255,14 +282,25 @@ func NewClusterWithFS(cfg Config, fs *dfs.FS) *Cluster {
 // outputs remain exact either way.
 func (c *Cluster) InstallFaultPlan(p *FaultPlan) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.jobSeq = 0
 	if p == nil {
 		c.faults = nil
-		return
+	} else {
+		q := p.withDefaults()
+		c.faults = &q
 	}
-	q := p.withDefaults()
-	c.faults = &q
+	c.mu.Unlock()
+	// Push the plan's storage section down into the DFS. Done outside
+	// c.mu: fs.mu is not ordered under the cluster lock.
+	if p != nil && (p.BlockCorruptRate > 0 || p.ReplicaLossRate > 0) {
+		c.fs.InstallFaults(&dfs.StorageFaults{
+			Seed:        p.Seed,
+			CorruptRate: p.BlockCorruptRate,
+			LossRate:    p.ReplicaLossRate,
+		})
+	} else {
+		c.fs.InstallFaults(nil)
+	}
 }
 
 // startJob assigns the next job sequence number and returns the
@@ -390,6 +428,13 @@ func (c *Cluster) record(st JobStats) {
 	t.WastedRecords += st.WastedRecords
 	t.WastedBytes += st.WastedBytes
 	t.PenaltySeconds += st.PenaltySeconds
+	t.CorruptBlocks += st.CorruptBlocks
+	t.LostReplicas += st.LostReplicas
+	t.FailoverReads += st.FailoverReads
+	t.FailoverBytes += st.FailoverBytes
+	t.ReReplications += st.ReReplications
+	t.ScrubBytes += st.ScrubBytes
+	t.StorageSeconds += st.StorageSeconds
 	t.SimSeconds += st.SimSeconds
 	if c.tracer != nil {
 		// Tracing under c.mu is safe here: obs.Tracer's mu is a leaf lock

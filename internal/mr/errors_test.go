@@ -40,6 +40,49 @@ func TestTypedErrorsSurviveWrapping(t *testing.T) {
 			t.Fatalf("job name missing from %T message: %v", err, err)
 		}
 	}
+
+	// Storage errors from the DFS layer survive the same wrapping, and
+	// ErrDataLoss additionally unwraps to the checksum mismatch that
+	// exhausted the replicas.
+	dl := &dfs.ErrDataLoss{File: "fac/h", Block: 2, Replicas: 3,
+		Cause: &dfs.ErrCorrupt{File: "fac/h", Block: 2, Replica: 1}}
+	var gotDL *dfs.ErrDataLoss
+	if !errors.As(wrap(dl), &gotDL) || gotDL.File != "fac/h" || gotDL.Replicas != 3 {
+		t.Fatalf("ErrDataLoss lost through wrapping: %v", wrap(dl))
+	}
+	var gotEC *dfs.ErrCorrupt
+	if !errors.As(wrap(dl), &gotEC) || gotEC.Block != 2 || gotEC.Replica != 1 {
+		t.Fatalf("ErrCorrupt lost through ErrDataLoss wrapping: %v", wrap(dl))
+	}
+}
+
+// TestTypedErrorsStorageDataLoss drives a real job into a block with no
+// good replica and checks the dfs error types flow through mr's
+// job-name wrapper end-to-end.
+func TestTypedErrorsStorageDataLoss(t *testing.T) {
+	c := NewClusterWithFS(Config{Machines: 2},
+		dfs.New(dfs.Options{BlockSize: 64, Replication: 1, Machines: 2}))
+	WriteFile(c, "in", []int64{1, 2, 3, 4}, func(int64) int64 { return 40 })
+	// Replication 1 with certain corruption: the first read finds every
+	// (single) replica bad.
+	c.InstallFaultPlan(&FaultPlan{Seed: 7, BlockCorruptRate: 1})
+	_, _, err := Run(c, Job[int64, int64, int64]{
+		Name:      "doomed",
+		Inputs:    []Input[int64, int64]{{File: "in", Map: func(r any, emit func(int64, int64)) { emit(r.(int64), 1) }}},
+		Reduce:    func(k int64, vs []int64, emit func(int64)) { emit(k) },
+		Partition: HashInt64,
+	})
+	var dl *dfs.ErrDataLoss
+	if !errors.As(err, &dl) || dl.File != "in" || dl.Replicas != 1 {
+		t.Fatalf("job error does not carry ErrDataLoss: %v", err)
+	}
+	var ec *dfs.ErrCorrupt
+	if !errors.As(err, &ec) || ec.File != "in" {
+		t.Fatalf("job error does not unwrap to ErrCorrupt: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"doomed"`) {
+		t.Fatalf("storage error does not name the job: %v", err)
+	}
 }
 
 // TestRunErrorsCarryJobName audits Run's own error paths: validation

@@ -51,6 +51,23 @@ type FaultPlan struct {
 	// (HDFS replicates blocks), so a new cluster built on the same FS
 	// can resume from checkpoints.
 	KillAfterJobs int
+
+	// Storage section: faults injected below the compute layer, into
+	// the cluster's DFS (see dfs.StorageFaults). Decisions hash the
+	// same Seed over (file, block, replica), so they are independent of
+	// scheduling and of the compute faults above.
+
+	// BlockCorruptRate is the probability that one replica copy of one
+	// DFS block is silently corrupt: its checksum fails at read time
+	// and the read fails over to the next copy, charging the re-read
+	// and a re-replication scrub to the cost model. A block with no
+	// good copy left fails the job with *dfs.ErrDataLoss.
+	BlockCorruptRate float64
+	// ReplicaLossRate is the probability that one replica copy of one
+	// DFS block is missing (a datanode died after the write): the copy
+	// is skipped from metadata without a wasted read, but still costs
+	// a re-replication.
+	ReplicaLossRate float64
 }
 
 // withDefaults resolves the documented zero-value defaults.

@@ -167,6 +167,16 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	}
 
 	st := JobStats{Name: job.Name, ReduceTasks: reducers}
+	// Snapshot the DFS storage-fault counters around the input reads so
+	// the job is charged the failovers and scrubs its own reads caused.
+	// Attribution assumes jobs run sequentially (the same contract the
+	// fault plan's job sequence documents); concurrent Run callers get
+	// scheduling-dependent attribution but exact cluster-level totals.
+	storageOn := plan != nil && (plan.BlockCorruptRate > 0 || plan.ReplicaLossRate > 0)
+	var storageBase dfs.Stats
+	if storageOn {
+		storageBase = c.fs.Stats()
+	}
 	hint, hasHint := c.hint(job.Name)
 	bucketCap := 0
 	if hasHint {
@@ -327,6 +337,27 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 			}
 		}
 	}
+	if storageOn {
+		// The input reads above are the job's storage-failure surface:
+		// any bad replica copies they crossed were detected, failed
+		// over past, and re-replicated inside the DFS. Charge the
+		// deltas — and the simulated time of the extra I/O — to this
+		// job. Like the task fault pass, this moves time and counters
+		// only; the records the tasks will map are already fixed.
+		now := c.fs.Stats()
+		st.CorruptBlocks = now.CorruptBlocks - storageBase.CorruptBlocks
+		st.LostReplicas = now.LostReplicas - storageBase.LostReplicas
+		st.FailoverReads = now.FailoverReads - storageBase.FailoverReads
+		st.FailoverBytes = now.FailoverBytes - storageBase.FailoverBytes
+		st.ReReplications = now.ReReplications - storageBase.ReReplications
+		st.ScrubBytes = now.ScrubBytes - storageBase.ScrubBytes
+		machines := c.cfg.Machines
+		if machines <= 0 {
+			machines = 1
+		}
+		st.StorageSeconds = float64(st.FailoverBytes+st.ScrubBytes) *
+			c.cfg.Cost.PerDFSByte / float64(machines)
+	}
 
 	// Run the map tasks. The shuffle-capacity limit is enforced
 	// deterministically: a task's records count only once every
@@ -395,7 +426,7 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 				putSlice(bucket)
 			}
 		}
-		st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st)
+		st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.StorageSeconds
 		c.record(st)
 		return nil, st, &ErrResourceExhausted{Job: job.Name, ShuffleRecords: st.ShuffleRecords, Limit: limit}
 	}
@@ -423,7 +454,7 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 					putSlice(bucket)
 				}
 			}
-			st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds
+			st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds + st.StorageSeconds
 			c.record(st)
 			return nil, st, ferr
 		}
@@ -505,7 +536,7 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 				putSlice(out)
 				results[r] = nil
 			}
-			st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds
+			st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds + st.StorageSeconds
 			c.record(st)
 			return nil, st, ferr
 		}
@@ -547,7 +578,7 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		w.Close()
 	}
 
-	st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds
+	st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds + st.StorageSeconds
 	c.record(st)
 	if st.MapTasks > 0 {
 		shuffled := st.ShuffleRecords - job.ExtraShuffleRecords

@@ -9,10 +9,12 @@ import "github.com/haten2/haten2/internal/obs"
 // The phase durations re-partition the cost model's terms by the
 // Hadoop phase that incurs them:
 //
-//	map     = JobStartup + InputRecords·PerMapRecord/m + InputBytes·PerDFSByte/m
-//	shuffle = ShuffleBytes·PerShuffleByte/m
-//	reduce  = ShuffleRecords·PerReduceRecord/m + OutputBytes·PerDFSByte/m + Coord·m
-//	recover = PenaltySeconds (retry backoff, re-execution, straggler lag)
+//	map      = JobStartup + InputRecords·PerMapRecord/m + InputBytes·PerDFSByte/m
+//	shuffle  = ShuffleBytes·PerShuffleByte/m
+//	reduce   = ShuffleRecords·PerReduceRecord/m + OutputBytes·PerDFSByte/m + Coord·m
+//	recover  = PenaltySeconds (retry backoff, re-execution, straggler lag)
+//	failover = FailoverBytes·PerDFSByte/m (re-reads past corrupt replica copies)
+//	scrub    = ScrubBytes·PerDFSByte/m (re-replication back to the target factor)
 //
 // so the phases sum to the job's SimSeconds and the job span's
 // duration — set by End from the simulated clock its children advanced
@@ -56,6 +58,20 @@ func (c *Cluster) traceJob(st JobStats) {
 			obs.Counter{Key: "waste.records", Val: st.WastedRecords},
 			obs.Counter{Key: "waste.bytes", Val: st.WastedBytes},
 			obs.Counter{Key: "blacklisted", Val: int64(st.BlacklistedMachines)},
+		)
+	}
+	if st.CorruptBlocks > 0 || st.LostReplicas > 0 || st.ReReplications > 0 {
+		tr.Emit("phase", "failover",
+			float64(st.FailoverBytes)*cost.PerDFSByte/m,
+			obs.Counter{Key: "corrupt.blocks", Val: st.CorruptBlocks},
+			obs.Counter{Key: "lost.replicas", Val: st.LostReplicas},
+			obs.Counter{Key: "failover.reads", Val: st.FailoverReads},
+			obs.Counter{Key: "failover.bytes", Val: st.FailoverBytes},
+		)
+		tr.Emit("phase", "scrub",
+			float64(st.ScrubBytes)*cost.PerDFSByte/m,
+			obs.Counter{Key: "rereplications", Val: st.ReReplications},
+			obs.Counter{Key: "scrub.bytes", Val: st.ScrubBytes},
 		)
 	}
 	tr.End(job,

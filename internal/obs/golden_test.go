@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"github.com/haten2/haten2/internal/core"
+	"github.com/haten2/haten2/internal/dfs"
 	"github.com/haten2/haten2/internal/gen"
 	"github.com/haten2/haten2/internal/mr"
 	"github.com/haten2/haten2/internal/obs"
@@ -80,6 +81,68 @@ func TestGoldenTraces(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// goldenStorageRun is goldenRun on a tiny-block, replication-3 DFS
+// under a pinned corruption/loss plan (seed 1 survives: every bad
+// replica has a good sibling to fail over to). The trace gains
+// "failover" and "scrub" phases whose durations come from the
+// deterministic storage counters.
+func goldenStorageRun(t *testing.T) []byte {
+	t.Helper()
+	x := gen.Random(11, [3]int64{6, 6, 6}, 24)
+	c := mr.NewClusterWithFS(mr.Config{Machines: 2, SlotsPerMachine: 2},
+		dfs.New(dfs.Options{BlockSize: 256, Replication: 3, Machines: 3}))
+	c.InstallFaultPlan(&mr.FaultPlan{Seed: 1, BlockCorruptRate: 0.1, ReplicaLossRate: 0.05})
+	tr := obs.NewTracer()
+	c.SetTracer(tr)
+	_, err := core.ParafacALS(c, x, 2, core.Options{Variant: core.DRI, MaxIters: 2, Tol: 1e-12, Seed: 7})
+	if err != nil {
+		t.Fatalf("storage golden run: %v", err)
+	}
+	if tot := c.Totals(); tot.CorruptBlocks == 0 || tot.LostReplicas == 0 {
+		t.Fatalf("pinned storage plan injected nothing: %+v", tot)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceStorage pins the PARAFAC-DRI trace under the seeded
+// storage fault plan byte-for-byte, including the failover and scrub
+// spans, across GOMAXPROCS settings: replica failover and read-repair
+// are charged from pure hash decisions, so host scheduling owes them
+// nothing.
+func TestGoldenTraceStorage(t *testing.T) {
+	got := goldenStorageRun(t)
+	if !bytes.Contains(got, []byte(`"failover"`)) || !bytes.Contains(got, []byte(`"scrub"`)) {
+		t.Fatal("storage trace lacks failover/scrub phases")
+	}
+	path := filepath.Join("testdata", "parafac-dri-storage.trace.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("storage trace differs from %s (%d vs %d bytes); rerun with -update if intentional",
+			path, len(got), len(want))
+	}
+	for _, procs := range []int{1, 4, 16} {
+		func() {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			if again := goldenStorageRun(t); !bytes.Equal(again, want) {
+				t.Fatalf("GOMAXPROCS=%d: storage trace differs from golden", procs)
+			}
+		}()
 	}
 }
 
