@@ -3,7 +3,11 @@
 // HaTen2-PARAFAC (or Tucker), normalize, and print the top entities of
 // every discovered concept. Entity labels are read from the "# subject/
 // object/predicate <id> <label>" comments that `tensorgen -kind
-// freebase|nell` emits alongside the tensor.
+// freebase|nell` emits alongside the tensor (parsed by
+// gen.ReadLabeledCOO); the ranking itself goes through the same
+// serve.TopEntities kernel the serving layer uses, so the CLI and the
+// server can never disagree about what the top entities of a concept
+// are.
 //
 // Usage:
 //
@@ -13,17 +17,15 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	haten2 "github.com/haten2/haten2"
 	"github.com/haten2/haten2/internal/gen"
-	"github.com/haten2/haten2/internal/tensor"
+	"github.com/haten2/haten2/internal/serve"
 )
 
 func main() {
@@ -43,74 +45,6 @@ func main() {
 	}
 }
 
-// vocab holds the per-mode entity labels parsed from file comments.
-type vocab struct {
-	subjects, objects, predicates map[int64]string
-}
-
-func (v *vocab) label(mode int, id int64) string {
-	var m map[int64]string
-	switch mode {
-	case 0:
-		m = v.subjects
-	case 1:
-		m = v.objects
-	default:
-		m = v.predicates
-	}
-	if l, ok := m[id]; ok {
-		return l
-	}
-	return fmt.Sprintf("#%d", id)
-}
-
-// parseFile reads the tensor and its vocabulary comments in one pass.
-func parseFile(r io.Reader) (*tensor.Tensor, *vocab, error) {
-	v := &vocab{
-		subjects:   map[int64]string{},
-		objects:    map[int64]string{},
-		predicates: map[int64]string{},
-	}
-	var tensorText strings.Builder
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Text()
-		trimmed := strings.TrimSpace(line)
-		if strings.HasPrefix(trimmed, "#") {
-			fields := strings.Fields(strings.TrimPrefix(trimmed, "#"))
-			if len(fields) >= 3 {
-				switch fields[0] {
-				case "subject", "object", "predicate":
-					id, err := strconv.ParseInt(fields[1], 10, 64)
-					if err == nil {
-						label := strings.Join(fields[2:], " ")
-						switch fields[0] {
-						case "subject":
-							v.subjects[id] = label
-						case "object":
-							v.objects[id] = label
-						default:
-							v.predicates[id] = label
-						}
-						continue
-					}
-				}
-			}
-		}
-		tensorText.WriteString(line)
-		tensorText.WriteByte('\n')
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
-	}
-	x, err := tensor.ReadCOO(strings.NewReader(tensorText.String()))
-	if err != nil {
-		return nil, nil, err
-	}
-	return x, v, nil
-}
-
 func run(w io.Writer, in, method string, rank, topk, machines, iters int, seed int64) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
@@ -120,7 +54,7 @@ func run(w io.Writer, in, method string, rank, topk, machines, iters int, seed i
 		return err
 	}
 	defer f.Close()
-	raw, v, err := parseFile(f)
+	raw, v, err := gen.ReadLabeledCOO(f)
 	if err != nil {
 		return err
 	}
@@ -158,13 +92,8 @@ func run(w io.Writer, in, method string, rank, topk, machines, iters int, seed i
 	for r := 0; r < rank; r++ {
 		fmt.Fprintf(w, "\nconcept %d:\n", r+1)
 		for m := 0; m < 3; m++ {
-			labels := make([]string, 0, topk)
 			fm := factors[m]
-			all := make([]string, fm.Rows())
-			for idx := range all {
-				all[idx] = v.label(m, int64(idx))
-			}
-			labels = gen.TopEntities(all, fm.Col(r), fm.RowTotals(), topk)
+			labels := serve.TopEntities(v.Labels(m, fm.Rows()), fm.Col(r), fm.RowTotals(), topk)
 			fmt.Fprintf(w, "  %-10s %s\n", modeNames[m]+":", strings.Join(labels, ", "))
 		}
 	}

@@ -92,29 +92,3 @@ func TestConceptMinerErrors(t *testing.T) {
 		t.Fatal("4-way input accepted")
 	}
 }
-
-func TestParseFileVocabAndLabels(t *testing.T) {
-	in := `# subject 0 music/alpha/s0
-# object 1 music/alpha/o1
-# predicate 0 ns:music.alpha.rel-0
-# tensor 2 2 1
-0 1 0 2.5
-`
-	x, v, err := parseFile(strings.NewReader(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if x.NNZ() != 1 {
-		t.Fatalf("nnz %d", x.NNZ())
-	}
-	if v.label(0, 0) != "music/alpha/s0" {
-		t.Fatalf("subject label %q", v.label(0, 0))
-	}
-	if v.label(1, 1) != "music/alpha/o1" {
-		t.Fatalf("object label %q", v.label(1, 1))
-	}
-	// Unknown ids fall back to #id.
-	if v.label(2, 9) != "#9" {
-		t.Fatalf("fallback label %q", v.label(2, 9))
-	}
-}

@@ -12,11 +12,12 @@
 //	haten2bench -exp faults -faultsout BENCH_faults.json  # fault overhead
 //	haten2bench -exp shuffle -shuffleout BENCH_shuffle.json  # codec A/B
 //	haten2bench -exp storage -storageout BENCH_storage.json  # DFS durability
+//	haten2bench -exp serve -serveout BENCH_serve.json  # factor-serving load
 //	haten2bench -exp mr -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment ids: table2 table3 table4 table5 table6 table7 table8
 // fig1a fig1b fig1c fig7a fig7b fig7c fig8 nell ablation combiner mr
-// faults shuffle storage.
+// faults shuffle storage serve.
 //
 // The mr experiment measures real host wall-clock (not simulated time)
 // of the MapReduce engine across a GOMAXPROCS sweep; -mrout additionally
@@ -34,7 +35,14 @@
 // failover, read-repair, and checkpoint-restart after data loss under
 // seeded corruption/loss plans, verifying factors stay bit-identical;
 // -storageout writes its report to the named JSON file
-// (BENCH_storage.json by convention).
+// (BENCH_storage.json by convention). The serve experiment drives a
+// Zipf-skewed closed-loop load of simulated users against the
+// factor-serving layer (DESIGN.md §3h) across shard counts and cache
+// sizes, reporting sustained QPS, p50/p99 latency, cache hit rate, and
+// batch occupancy against the naive unsharded scorer, and fails
+// outright if any leg's rankings diverge from the single-threaded
+// baseline scorer; -serveout writes its report to the named JSON file
+// (BENCH_serve.json by convention).
 //
 // -trace writes one Chrome trace_event JSON file (simulated time,
 // DESIGN.md §3e) covering every cluster the selected experiments
@@ -71,6 +79,7 @@ func main() {
 		faultsOut  = flag.String("faultsout", "", "also write the faults experiment's report to this JSON file")
 		shuffleOut = flag.String("shuffleout", "", "also write the shuffle experiment's report to this JSON file")
 		storageOut = flag.String("storageout", "", "also write the storage experiment's report to this JSON file")
+		serveOut   = flag.String("serveout", "", "also write the serve experiment's report to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the experiments) to this file")
 		trace      = flag.String("trace", "", "write a Chrome trace_event JSON file (simulated time) covering the selected experiments to this path")
@@ -89,6 +98,9 @@ func main() {
 	}
 	if *storageOut != "" {
 		outs["storage"] = *storageOut
+	}
+	if *serveOut != "" {
+		outs["serve"] = *serveOut
 	}
 	var tr *obs.Tracer
 	if *trace != "" || *traceSum {
@@ -195,12 +207,13 @@ func run(exp string, full bool, seed int64, jsonOut bool, outs map[string]string
 		"faults":   bench.Faults,
 		"shuffle":  bench.ShuffleBench,
 		"storage":  bench.Storage,
+		"serve":    bench.ServeBench,
 	}
 	order := []string{
 		"table2", "table3", "table4", "table5",
 		"fig1a", "fig1b", "fig1c", "fig7a", "fig7b", "fig7c", "fig8",
 		"table6", "table7", "table8", "nell", "ablation", "combiner",
-		"mr", "faults", "shuffle", "storage",
+		"mr", "faults", "shuffle", "storage", "serve",
 	}
 	var ids []string
 	if exp == "all" {

@@ -16,6 +16,7 @@ import (
 
 	haten2 "github.com/haten2/haten2"
 	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/serve"
 )
 
 func main() {
@@ -48,9 +49,9 @@ func main() {
 	fmt.Printf("PARAFAC rank %d (fit %.3f):\n", rank, pres.Fit(x))
 	for r := 0; r < rank; r++ {
 		fmt.Printf("  concept %d:\n", r+1)
-		fmt.Printf("    subjects:  %v\n", gen.TopEntities(kb.Subjects, pres.Factors[0].Col(r), pres.Factors[0].RowTotals(), 3))
-		fmt.Printf("    objects:   %v\n", gen.TopEntities(kb.Objects, pres.Factors[1].Col(r), pres.Factors[1].RowTotals(), 3))
-		fmt.Printf("    relations: %v\n", gen.TopEntities(kb.Predicates, pres.Factors[2].Col(r), pres.Factors[2].RowTotals(), 3))
+		fmt.Printf("    subjects:  %v\n", serve.TopEntities(kb.Subjects, pres.Factors[0].Col(r), pres.Factors[0].RowTotals(), 3))
+		fmt.Printf("    objects:   %v\n", serve.TopEntities(kb.Objects, pres.Factors[1].Col(r), pres.Factors[1].RowTotals(), 3))
+		fmt.Printf("    relations: %v\n", serve.TopEntities(kb.Predicates, pres.Factors[2].Col(r), pres.Factors[2].RowTotals(), 3))
 	}
 
 	// --- Tucker: overlapping groups coupled by the core (Table VII/VIII)
@@ -91,8 +92,8 @@ func main() {
 		best[i], best[mi] = best[mi], best[i]
 		c := best[i]
 		fmt.Printf("  (S%d, O%d, R%d) weight %.2f\n", c.p+1, c.q+1, c.r+1, c.v)
-		fmt.Printf("    subjects:  %v\n", gen.TopEntities(kb.Subjects, tres.Factors[0].Col(int(c.p)), tres.Factors[0].RowTotals(), 3))
-		fmt.Printf("    objects:   %v\n", gen.TopEntities(kb.Objects, tres.Factors[1].Col(int(c.q)), tres.Factors[1].RowTotals(), 3))
-		fmt.Printf("    relations: %v\n", gen.TopEntities(kb.Predicates, tres.Factors[2].Col(int(c.r)), tres.Factors[2].RowTotals(), 3))
+		fmt.Printf("    subjects:  %v\n", serve.TopEntities(kb.Subjects, tres.Factors[0].Col(int(c.p)), tres.Factors[0].RowTotals(), 3))
+		fmt.Printf("    objects:   %v\n", serve.TopEntities(kb.Objects, tres.Factors[1].Col(int(c.q)), tres.Factors[1].RowTotals(), 3))
+		fmt.Printf("    relations: %v\n", serve.TopEntities(kb.Predicates, tres.Factors[2].Col(int(c.r)), tres.Factors[2].RowTotals(), 3))
 	}
 }

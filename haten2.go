@@ -145,6 +145,10 @@ func (m *Matrix) At(i, j int) float64 { return m.m.At(i, j) }
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 { return m.m.Col(j) }
 
+// Unwrap exposes the internal representation to sibling packages (the
+// serving layer builds its shard views over it).
+func (m *Matrix) Unwrap() *matrix.Matrix { return m.m }
+
 // RowTotals returns the per-row sums of absolute values across columns,
 // the normalizer the paper's discovery pipeline uses before ranking
 // entities within a component.
@@ -335,6 +339,9 @@ func (g *CoreTensor) At(p, q, r int64) float64 { return g.g.At(p, q, r) }
 
 // Norm returns ‖𝒢‖_F.
 func (g *CoreTensor) Norm() float64 { return g.g.Norm() }
+
+// Unwrap exposes the internal representation to sibling packages.
+func (g *CoreTensor) Unwrap() *tensor.Dense { return g.g }
 
 // TuckerResult is a Tucker decomposition 𝒳 ≈ 𝒢 ×₁A ×₂B ×₃C with
 // orthonormal factors.

@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"sort"
+
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// TopKResult is one ranked answer from the reference scorer.
+type TopKResult struct {
+	Index int64
+	Score float64
+}
+
+// ParafacTopKObjects is the single-threaded reference for the serving
+// layer's (subject, predicate) → top objects query over a PARAFAC
+// model: score every object with a plain dot product, sort fully, keep
+// k. It deliberately shares the served path's exact floating-point
+// evaluation order — q_r = λ_r·A(s,r)·C(p,r) then Σ_r q_r·B(o,r) with
+// r ascending — and its total order (higher score first, ties to the
+// lower index), so internal/serve's sharded, batched, cached answers
+// must be bit-identical to this one. It is also the "naive scorer" leg
+// of the serve benchmark: a full O(J log J) sort and fresh allocations
+// per query, no cache, no batching.
+func ParafacTopKObjects(lambda []float64, factors [3]*matrix.Matrix, subject, predicate int64, k int) []TopKResult {
+	rank := len(lambda)
+	srow := factors[0].Row(int(subject))
+	prow := factors[2].Row(int(predicate))
+	q := make([]float64, rank)
+	for r := 0; r < rank; r++ {
+		q[r] = lambda[r] * srow[r] * prow[r]
+	}
+	return scoreAndSort(factors[1], q, k)
+}
+
+// TuckerTopKObjects is the Tucker reference: the query vector is the
+// core contracted with the subject and predicate factor rows
+// (q_j = Σ_a Σ_c 𝒢(a,j,c)·A(s,a)·C(p,c), a outer and c inner), then
+// the same object scoring and ordering as the PARAFAC reference.
+func TuckerTopKObjects(core *tensor.Dense, factors [3]*matrix.Matrix, subject, predicate int64, k int) []TopKResult {
+	srow := factors[0].Row(int(subject))
+	prow := factors[2].Row(int(predicate))
+	d := core.Dims()
+	q := make([]float64, d[1])
+	for j := range q {
+		var sum float64
+		for a := int64(0); a < d[0]; a++ {
+			sv := srow[a]
+			for c := int64(0); c < d[2]; c++ {
+				sum += core.At(a, int64(j), c) * sv * prow[c]
+			}
+		}
+		q[j] = sum
+	}
+	return scoreAndSort(factors[1], q, k)
+}
+
+func scoreAndSort(obj *matrix.Matrix, q []float64, k int) []TopKResult {
+	out := make([]TopKResult, obj.Rows)
+	for o := 0; o < obj.Rows; o++ {
+		row := obj.Row(o)
+		var s float64
+		for r, qv := range q {
+			s += qv * row[r]
+		}
+		out[o] = TopKResult{Index: int64(o), Score: s}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Index < out[j].Index
+	})
+	if k < 0 {
+		k = 0
+	}
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/haten2/haten2/internal/core"
 	"github.com/haten2/haten2/internal/gen"
 	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/serve"
 	"github.com/haten2/haten2/internal/tensor"
 )
 
@@ -53,32 +54,14 @@ func rowTotals(m *matrix.Matrix) []float64 {
 	return out
 }
 
-// topIdx returns the indexes of the k largest normalized column scores.
+// topIdx returns the indexes of the k largest normalized column scores,
+// via the serving layer's selection kernel so the discovery tables and
+// the server share one ranking (and one tie-break).
 func topIdx(m *matrix.Matrix, col int, totals []float64, k int) []int64 {
-	type sv struct {
-		i int
-		v float64
-	}
-	scored := make([]sv, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		v := math.Abs(m.At(i, col))
-		if totals[i] > 0 {
-			v /= totals[i]
-		}
-		scored[i] = sv{i, v}
-	}
-	sort.Slice(scored, func(a, b int) bool {
-		if scored[a].v != scored[b].v {
-			return scored[a].v > scored[b].v
-		}
-		return scored[a].i < scored[b].i
-	})
-	if k > len(scored) {
-		k = len(scored)
-	}
-	out := make([]int64, k)
-	for i := range out {
-		out[i] = int64(scored[i].i)
+	top, _ := serve.ColumnTopK(nil, m, col, totals, k, nil)
+	out := make([]int64, len(top))
+	for i, r := range top {
+		out[i] = r.Index
 	}
 	return out
 }
@@ -235,7 +218,20 @@ func Table8(cfg Config) (*Report, error) {
 			}
 		}
 	}
-	sort.Slice(cells, func(a, b int) bool { return cells[a].v > cells[b].v })
+	// Equal |g| cells are ordered by coordinate so the table is a
+	// deterministic function of the core, like every other top-k path.
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].v != cells[b].v {
+			return cells[a].v > cells[b].v
+		}
+		if cells[a].p != cells[b].p {
+			return cells[a].p < cells[b].p
+		}
+		if cells[a].q != cells[b].q {
+			return cells[a].q < cells[b].q
+		}
+		return cells[a].r < cells[b].r
+	})
 	rep := &Report{
 		ID:      "table8",
 		Title:   "Tucker concepts from the largest core entries (Table VIII)",

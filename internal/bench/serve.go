@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/haten2/haten2/internal/baseline"
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/serve"
+)
+
+// serveUsers is the simulated user population. Each user maps
+// deterministically to one (subject, predicate) query, and traffic
+// picks users from a Zipf distribution — a few celebrities dominate,
+// a long tail of millions appears once or twice, which is exactly the
+// regime the serving layer's caches are designed for.
+const serveUsers = 3_000_000
+
+// serveLoad is one measured closed-loop run against a query function.
+type serveLoad struct {
+	wall      time.Duration
+	latencies []time.Duration // one per request, order unspecified
+}
+
+func (l *serveLoad) qps() float64 {
+	if l.wall <= 0 {
+		return 0
+	}
+	return float64(len(l.latencies)) / l.wall.Seconds()
+}
+
+// percentile returns the p-th latency percentile (sorts in place).
+func (l *serveLoad) percentile(p float64) time.Duration {
+	if len(l.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(l.latencies, func(i, j int) bool { return l.latencies[i] < l.latencies[j] })
+	i := int(p * float64(len(l.latencies)-1))
+	return l.latencies[i]
+}
+
+// userQuery maps a user id to its query via splitmix64 so the mapping
+// is stateless and seeded: millions of distinct users project onto the
+// (subject × predicate) query space with Zipf-weighted popularity.
+func userQuery(user uint64, subjects, predicates int64) (int64, int64) {
+	z := user + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z % uint64(subjects)), int64((z >> 32) % uint64(predicates))
+}
+
+// closedLoop drives requests clients in lockstep, each issuing its
+// share of total queries back to back (a closed loop: the next request
+// is issued only when the previous answer arrives). Per-request
+// latency is recorded into preallocated buffers so measurement itself
+// does not allocate on the hot path.
+func closedLoop(seed int64, clients, total int, subjects, predicates int64, k int,
+	query func(s, p int64, k int, dst []serve.Result) ([]serve.Result, error)) (*serveLoad, error) {
+
+	per := total / clients
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	for c := range lats {
+		lats[c] = make([]time.Duration, 0, per)
+	}
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			zipf := rand.NewZipf(rng, 1.2, 1, serveUsers-1)
+			dst := make([]serve.Result, 0, k)
+			for i := 0; i < per; i++ {
+				s, p := userQuery(zipf.Uint64(), subjects, predicates)
+				t0 := time.Now()
+				var err error
+				dst, err = query(s, p, k, dst)
+				lats[c] = append(lats[c], time.Since(t0))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	load := &serveLoad{wall: time.Since(start)}
+	for c := range lats {
+		if errs[c] != nil {
+			return nil, errs[c]
+		}
+		load.latencies = append(load.latencies, lats[c]...)
+	}
+	return load, nil
+}
+
+// verifyRankings checks a sample of queries bit-for-bit against the
+// single-threaded baseline scorer — the CI smoke turns any divergence
+// between the sharded/batched/cached path and the reference into a
+// hard failure, not a table footnote.
+func verifyRankings(srv *serve.Server, lambda []float64, factors [3]*matrix.Matrix,
+	seed int64, samples int, subjects, predicates int64, k int) error {
+
+	rng := rand.New(rand.NewSource(seed))
+	var dst []serve.Result
+	for i := 0; i < samples; i++ {
+		s, p := int64(rng.Intn(int(subjects))), int64(rng.Intn(int(predicates)))
+		var err error
+		dst, err = srv.TopKObjects(s, p, k, dst)
+		if err != nil {
+			return err
+		}
+		want := baseline.ParafacTopKObjects(lambda, factors, s, p, k)
+		if len(dst) != len(want) {
+			return fmt.Errorf("query (%d,%d): served %d results, baseline %d", s, p, len(dst), len(want))
+		}
+		for r := range dst {
+			if dst[r].Index != want[r].Index ||
+				math.Float64bits(dst[r].Score) != math.Float64bits(want[r].Score) {
+				return fmt.Errorf("query (%d,%d) rank %d: served (%d, %x), baseline (%d, %x)",
+					s, p, r, dst[r].Index, math.Float64bits(dst[r].Score),
+					want[r].Index, math.Float64bits(want[r].Score))
+			}
+		}
+	}
+	return nil
+}
+
+// ServeBench is the factor-serving load benchmark behind
+// BENCH_serve.json: a Zipf-skewed closed-loop load of simulated users
+// against the sharded/batched/cached serving layer, swept over shard
+// counts and cache sizes, against the naive unsharded scorer (full
+// sort, fresh allocations, no cache, no batching) as the baseline.
+// Every leg's rankings are verified bit-identical to the baseline
+// scorer; a mismatch fails the experiment.
+func ServeBench(cfg Config) (*Report, error) {
+	subjects, objects, predicates := int64(2_000), int64(8_192), int64(64)
+	rank := 16
+	servedReqs, naiveReqs := 40_000, 4_000
+	if cfg.Full {
+		objects, rank = 32_768, 24
+		servedReqs, naiveReqs = 200_000, 8_000
+	}
+	const (
+		k       = 10
+		clients = 8
+	)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 12))
+	factors := [3]*matrix.Matrix{
+		matrix.Random(int(subjects), rank, rng),
+		matrix.Random(int(objects), rank, rng),
+		matrix.Random(int(predicates), rank, rng),
+	}
+	lambda := make([]float64, rank)
+	for r := range lambda {
+		lambda[r] = 0.5 + rng.Float64()*3
+	}
+	model, err := serve.NewParafacModel(lambda, factors)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID: "serve",
+		Title: fmt.Sprintf("factor serving under Zipf load: %s users onto %d×%d×%d rank-%d, top-%d, %d closed-loop clients",
+			gen.Human(serveUsers), subjects, objects, predicates, rank, k, clients),
+		Headers: []string{"config", "queries", "QPS", "p50", "p99", "hit-rate", "batch-occ", "vs naive", "rankings"},
+	}
+
+	// Naive leg: the pre-serving-layer answer — every query scores the
+	// full object universe, sorts it, and allocates as it goes.
+	naive, err := closedLoop(cfg.Seed+100, clients, naiveReqs, subjects, predicates, k,
+		func(s, p int64, kk int, dst []serve.Result) ([]serve.Result, error) {
+			res := baseline.ParafacTopKObjects(lambda, factors, s, p, kk)
+			dst = dst[:0]
+			for _, r := range res {
+				dst = append(dst, serve.Result{Index: r.Index, Score: r.Score})
+			}
+			return dst, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	naiveQPS := naive.qps()
+	naiveP99 := naive.percentile(0.99)
+	rep.Rows = append(rep.Rows, []string{
+		"naive unsharded", count(naiveReqs), fmt.Sprintf("%.0f", naiveQPS),
+		fmtLatency(naive.percentile(0.50)), fmtLatency(naiveP99),
+		"-", "-", "1.00x", "reference",
+	})
+
+	legs := []struct {
+		name   string
+		shards int
+		cache  int
+	}{
+		{"shards=1 cache=1024", 1, 1024},
+		{"shards=4 cache=0", 4, 0},
+		{"shards=4 cache=256", 4, 256},
+		{"shards=4 cache=1024", 4, 1024},
+		{"shards=16 cache=1024", 16, 1024},
+	}
+	var bestQPS float64
+	var bestP99 time.Duration
+	for _, leg := range legs {
+		srv, err := serve.New(model, serve.Config{
+			Shards:    leg.shards,
+			CacheSize: leg.cache,
+			NoCache:   leg.cache == 0,
+			MaxBatch:  32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		load, err := closedLoop(cfg.Seed+100, clients, servedReqs, subjects, predicates, k, srv.TopKObjects)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		verdict := "identical"
+		if err := verifyRankings(srv, lambda, factors, cfg.Seed+200, 64, subjects, predicates, k); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("serve leg %q diverged from baseline: %w", leg.name, err)
+		}
+		st := srv.Stats()
+		srv.Close()
+		qps := load.qps()
+		p99 := load.percentile(0.99)
+		hit := "off"
+		if leg.cache > 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*st.HitRate())
+		}
+		if qps > bestQPS {
+			bestQPS, bestP99 = qps, p99
+		}
+		rep.Rows = append(rep.Rows, []string{
+			leg.name, count(servedReqs), fmt.Sprintf("%.0f", qps),
+			fmtLatency(load.percentile(0.50)), fmtLatency(p99),
+			hit, fmt.Sprintf("%.2f", st.BatchOccupancy()),
+			fmt.Sprintf("%.2fx", qps/naiveQPS), verdict,
+		})
+	}
+
+	speedup := bestQPS / naiveQPS
+	note := fmt.Sprintf("best served leg sustains %.1fx the naive scorer's QPS (p99 %s vs naive %s)",
+		speedup, fmtLatency(bestP99), fmtLatency(naiveP99))
+	if speedup < 5 || bestP99 > naiveP99 {
+		note += " — VIOLATION: want ≥ 5x at equal or better p99"
+	}
+	rep.Notes = append(rep.Notes, note)
+	rep.Notes = append(rep.Notes,
+		"rankings on every leg verified bit-identical to the single-threaded baseline scorer (64-query sample per leg)")
+	return rep, nil
+}
+
+// fmtLatency renders a latency with adaptive precision.
+func fmtLatency(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	}
+}

@@ -166,25 +166,6 @@ func TestFilterFrequentPredicates(t *testing.T) {
 	}
 }
 
-func TestTopEntities(t *testing.T) {
-	labels := []string{"a", "b", "c", "d"}
-	col := []float64{0.1, -0.9, 0.5, 0.2}
-	got := TopEntities(labels, col, nil, 2)
-	if got[0] != "b" || got[1] != "c" {
-		t.Fatalf("top = %v", got)
-	}
-	// Row totals rescale: give "a" a tiny total so it dominates.
-	totals := []float64{0.1, 10, 10, 10}
-	got = TopEntities(labels, col, totals, 1)
-	if got[0] != "a" {
-		t.Fatalf("normalized top = %v", got)
-	}
-	// k larger than the vocabulary is clamped.
-	if n := len(TopEntities(labels, col, nil, 99)); n != 4 {
-		t.Fatalf("clamp failed: %d", n)
-	}
-}
-
 func TestNewIntrusionGroundTruth(t *testing.T) {
 	g := NewIntrusion(IntrusionConfig{Seed: 3})
 	if g.Tensor.Order() != 3 {

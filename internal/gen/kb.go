@@ -203,36 +203,3 @@ func (kb *KB) Tensor() *tensor.Tensor {
 	x.Coalesce()
 	return x
 }
-
-// TopEntities returns the labels of the k largest-magnitude rows of one
-// factor-matrix column, the presentation used in Tables VI and VII. The
-// column is first normalized by the per-row total across columns to
-// "mitigate the effects of dominant terms" (§IV-C).
-func TopEntities(labels []string, col []float64, rowTotals []float64, k int) []string {
-	type sv struct {
-		i int
-		v float64
-	}
-	scored := make([]sv, 0, len(col))
-	for i, v := range col {
-		nv := math.Abs(v)
-		if rowTotals != nil && rowTotals[i] > 0 {
-			nv /= rowTotals[i]
-		}
-		scored = append(scored, sv{i, nv})
-	}
-	sort.Slice(scored, func(a, b int) bool {
-		if scored[a].v != scored[b].v {
-			return scored[a].v > scored[b].v
-		}
-		return scored[a].i < scored[b].i
-	})
-	if k > len(scored) {
-		k = len(scored)
-	}
-	out := make([]string, k)
-	for i := 0; i < k; i++ {
-		out[i] = labels[scored[i].i]
-	}
-	return out
-}

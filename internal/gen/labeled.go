@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/haten2/haten2/internal/tensor"
+)
+
+// Vocab holds the per-mode entity labels parsed from the "# subject/
+// object/predicate <id> <label>" comments tensorgen emits alongside a
+// knowledge-base tensor. Both cmd/conceptminer and cmd/haten2serve
+// read tensors through it.
+type Vocab struct {
+	Subjects, Objects, Predicates map[int64]string
+}
+
+// Label returns the label of one entity, or "#<id>" when the file
+// carried no label for it. Mode 0 is subjects, 1 objects, 2 predicates.
+func (v *Vocab) Label(mode int, id int64) string {
+	var m map[int64]string
+	switch mode {
+	case 0:
+		m = v.Subjects
+	case 1:
+		m = v.Objects
+	default:
+		m = v.Predicates
+	}
+	if l, ok := m[id]; ok {
+		return l
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// Labels materializes a dense label slice for ids [0, n) of one mode.
+func (v *Vocab) Labels(mode int, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = v.Label(mode, int64(i))
+	}
+	return out
+}
+
+// ReadLabeledCOO reads a COO tensor and its vocabulary comments in one
+// pass. Unrecognized comment lines are passed through to the tensor
+// reader, which ignores them.
+func ReadLabeledCOO(r io.Reader) (*tensor.Tensor, *Vocab, error) {
+	v := &Vocab{
+		Subjects:   map[int64]string{},
+		Objects:    map[int64]string{},
+		Predicates: map[int64]string{},
+	}
+	var tensorText strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			fields := strings.Fields(strings.TrimPrefix(trimmed, "#"))
+			if len(fields) >= 3 {
+				switch fields[0] {
+				case "subject", "object", "predicate":
+					id, err := strconv.ParseInt(fields[1], 10, 64)
+					if err == nil {
+						label := strings.Join(fields[2:], " ")
+						switch fields[0] {
+						case "subject":
+							v.Subjects[id] = label
+						case "object":
+							v.Objects[id] = label
+						default:
+							v.Predicates[id] = label
+						}
+						continue
+					}
+				}
+			}
+		}
+		tensorText.WriteString(line)
+		tensorText.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	x, err := tensor.ReadCOO(strings.NewReader(tensorText.String()))
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, v, nil
+}

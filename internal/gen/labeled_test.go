@@ -1,0 +1,43 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadLabeledCOO(t *testing.T) {
+	in := `# subject 0 music/alpha/s0
+# object 1 music/alpha/o1
+# predicate 0 ns:music.alpha.rel-0
+# tensor 2 2 1
+0 1 0 2.5
+`
+	x, v, err := ReadLabeledCOO(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 1 {
+		t.Fatalf("nnz %d", x.NNZ())
+	}
+	if v.Label(0, 0) != "music/alpha/s0" {
+		t.Fatalf("subject label %q", v.Label(0, 0))
+	}
+	if v.Label(1, 1) != "music/alpha/o1" {
+		t.Fatalf("object label %q", v.Label(1, 1))
+	}
+	// Unknown ids fall back to #id.
+	if v.Label(2, 9) != "#9" {
+		t.Fatalf("fallback label %q", v.Label(2, 9))
+	}
+	// Labels materializes the dense slice with fallbacks interleaved.
+	labels := v.Labels(1, 2)
+	if labels[0] != "#0" || labels[1] != "music/alpha/o1" {
+		t.Fatalf("labels %v", labels)
+	}
+}
+
+func TestReadLabeledCOOBadTensor(t *testing.T) {
+	if _, _, err := ReadLabeledCOO(strings.NewReader("not a tensor line\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -33,7 +33,7 @@ import (
 // mr.Acquire/mr.Recycle pair, so both shapes are tracked here too.
 var PoolReturn = &Analyzer{
 	Name: "poolreturn",
-	Doc:  "every pool acquisition in internal/mr and internal/obs has a matching return on every path",
+	Doc:  "every pool acquisition in the pool-owning packages (mr, obs, core, serve) has a matching return on every path",
 	Flow: true,
 	Run:  runPoolReturn,
 }
@@ -54,8 +54,9 @@ var crossPoolKinds = map[string]string{
 }
 
 // poolPackages are the package names holding (or borrowing) pooled
-// buffers: the engine, the trace exporter, and core's codec scratch.
-var poolPackages = map[string]bool{"mr": true, "obs": true, "core": true}
+// buffers: the engine, the trace exporter, core's codec scratch, and
+// the serving layer's request/score scratch pools.
+var poolPackages = map[string]bool{"mr": true, "obs": true, "core": true, "serve": true}
 
 func runPoolReturn(p *Pass) {
 	if !poolPackages[p.Pkg.Pkg.Name()] {

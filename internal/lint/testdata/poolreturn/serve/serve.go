@@ -1,0 +1,66 @@
+// Fixture mirroring internal/serve's scratch pools: the serving
+// layer's request objects and per-query score buffers come from raw
+// sync.Pools behind type assertions, and poolreturn covers the serve
+// package so every Get must reach a matching Put on every path —
+// a leaked request or score buffer degrades the steady-state
+// zero-allocation query path back to plain allocation.
+package serve
+
+import "sync"
+
+type request struct {
+	subject, predicate int64
+	k                  int
+}
+
+var reqPool = sync.Pool{New: func() any { return new(request) }}
+
+var scorePool = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+
+// cleanQuery is the TopKObjects shape: acquire the request, use it for
+// the round trip, and return it to the pool before leaving.
+func cleanQuery(subject, predicate int64, k int) int {
+	req := reqPool.Get().(*request)
+	req.subject, req.predicate, req.k = subject, predicate, k
+	n := req.k
+	reqPool.Put(req)
+	return n
+}
+
+// flaggedLeak forgets the Put: the request pool degrades to plain
+// allocation and every query allocates a fresh request again.
+func flaggedLeak(subject int64) int64 {
+	req := reqPool.Get().(*request) // want "pooled buffer req is acquired but never returned with Put"
+	req.subject = subject
+	s := req.subject
+	return s
+}
+
+// flaggedBranchLeak releases the scratch on the happy path only; the
+// early validation return leaks it, which only the path-sensitive
+// analysis can see.
+func flaggedBranchLeak(rows int) int {
+	scratch := scorePool.Get().(*[]float64) // want "returned with Put on some paths but leaks on others"
+	if rows < 0 {
+		return 0
+	}
+	n := cap(*scratch)
+	scorePool.Put(scratch)
+	return n
+}
+
+// cleanMembership mirrors Membership's scratch discipline: acquired
+// and released in the same function, no return between Get and Put.
+func cleanMembership(loadings []float64) float64 {
+	scratch := scorePool.Get().(*[]float64)
+	*scratch = (*scratch)[:0]
+	*scratch = append(*scratch, loadings...)
+	var most float64
+	for _, v := range *scratch {
+		if v > most {
+			most = v
+		}
+	}
+	scorePool.Put(scratch)
+	return most
+}

@@ -396,3 +396,40 @@ func TestStringElides(t *testing.T) {
 		t.Fatalf("String = %q", s)
 	}
 }
+
+func TestMulBTIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Spread sizes across the tile boundary (tile = 8 rows of b).
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 7, 4}, {8, 8, 8}, {5, 17, 9}, {2, 33, 1}} {
+		m, n, r := dims[0], dims[1], dims[2]
+		a := Random(m, r, rng)
+		b := Random(n, r, rng)
+		dst := New(m, n)
+		MulBTInto(dst, a, b)
+		want := Mul(a, b.T())
+		for i := range dst.Data {
+			if math.Float64bits(dst.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("%v: element %d: %v != %v", dims, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMulBTIntoPanicsOnShape(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		a, b, dst *Matrix
+	}{
+		{"inner mismatch", New(2, 3), New(4, 2), New(2, 4)},
+		{"dst shape", New(2, 3), New(4, 3), New(2, 3)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			MulBTInto(tc.dst, tc.a, tc.b)
+		}()
+	}
+}

@@ -117,6 +117,39 @@ func MulVec(a *Matrix, x []float64) []float64 {
 	return out
 }
 
+// MulBTInto computes dst = a·bᵀ into a preshaped dst (a is M×R, b is
+// N×R, dst must be M×N). It is the serving layer's batched scoring
+// kernel: a holds a batch of query vectors, b a shard of the object
+// factor, and dst(i,j) is query i's score for object j. The loop is
+// tiled over b's rows so one tile of object rows stays cache-resident
+// across the whole query batch, but each dst element is still a single
+// dot product accumulated in ascending r — tiling and sharding change
+// memory traffic, never the floating-point result (DESIGN.md §3h).
+func MulBTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: MulBTInto inner mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: MulBTInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	const tile = 8
+	for j0 := 0; j0 < b.Rows; j0 += tile {
+		j1 := min(j0+tile, b.Rows)
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := j0; j < j1; j++ {
+				brow := b.Row(j)
+				var s float64
+				for r, av := range arow {
+					s += av * brow[r]
+				}
+				drow[j] = s
+			}
+		}
+	}
+}
+
 // Dot returns the inner product of two equal-length vectors.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/haten2/haten2/internal/core"
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/matrix"
+	"github.com/haten2/haten2/internal/mr"
+)
+
+// TestServedConceptRecovery is the end-to-end correctness test: build
+// the seeded Freebase-music stand-in with planted concepts, decompose
+// it on the simulated cluster, serve the factors, and require the
+// served rankings to recover the planted structure — concept-membership
+// top-k dominated by one planted concept's entities, and triple
+// completion returning objects from the right concept.
+func TestServedConceptRecovery(t *testing.T) {
+	kb := gen.NewKB(gen.KBConfig{
+		Seed:               17,
+		Theme:              "music",
+		ConceptNames:       gen.FreebaseMusicNames,
+		EntitiesPerConcept: 10,
+		TriplesPerConcept:  300,
+		NoiseTriples:       100,
+	}).FilterScarcePredicates(1)
+	x := kb.Tensor()
+	rank := len(kb.Concepts)
+
+	c := mr.NewCluster(mr.Config{Machines: 8, SlotsPerMachine: 2})
+	res, err := core.ParafacALS(c, x, rank, core.Options{
+		Variant: core.DRI, MaxIters: 30, Seed: 61, TrackFit: true, Tol: 1e-7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := [3]*matrix.Matrix{res.Model.Factors[0], res.Model.Factors[1], res.Model.Factors[2]}
+	model, err := NewParafacModel(res.Model.Lambda, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(model, Config{Shards: 4, CacheSize: 64, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conceptOfObject := map[int64]int{}
+	for ci, con := range kb.Concepts {
+		for _, id := range con.Objects {
+			conceptOfObject[id] = ci
+		}
+	}
+
+	// Concept membership: each component's top objects must come
+	// predominantly from one planted concept (precision@k floor).
+	const k = 5
+	matched := make([]int, rank) // component → majority concept
+	var meanPurity float64
+	for r := 0; r < rank; r++ {
+		top, err := srv.ConceptMembers(r, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top) != k {
+			t.Fatalf("component %d: got %d members", r, len(top))
+		}
+		counts := map[int]int{}
+		for _, m := range top {
+			if ci, ok := conceptOfObject[m.Index]; ok {
+				counts[ci]++
+			}
+		}
+		best, bestN := -1, 0
+		for ci, n := range counts {
+			if n > bestN || (n == bestN && ci < best) {
+				best, bestN = ci, n
+			}
+		}
+		matched[r] = best
+		purity := float64(bestN) / float64(k)
+		meanPurity += purity / float64(rank)
+		t.Logf("component %d → concept %d (%s), purity %.2f", r, best, conceptName(kb, best), purity)
+	}
+	if meanPurity < 0.6 {
+		t.Errorf("mean membership precision@%d = %.2f, want ≥ 0.6", k, meanPurity)
+	}
+
+	// Every planted concept should be matched by some component —
+	// the decomposition's components and the planted concepts are in
+	// bijection when recovery works.
+	seen := map[int]bool{}
+	for _, ci := range matched {
+		seen[ci] = true
+	}
+	if len(seen) < rank-1 {
+		t.Errorf("only %d of %d planted concepts recovered: %v", len(seen), rank, matched)
+	}
+
+	// Triple completion: querying (subject, predicate) from a planted
+	// concept must rank that concept's objects highly.
+	var meanPrec float64
+	var asked int
+	for ci, con := range kb.Concepts {
+		if len(con.Subjects) == 0 || len(con.Predicates) == 0 {
+			continue
+		}
+		top, err := srv.TopKObjects(con.Subjects[0], con.Predicates[0], k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for _, m := range top {
+			if got, ok := conceptOfObject[m.Index]; ok && got == ci {
+				hits++
+			}
+		}
+		meanPrec += float64(hits) / float64(k)
+		asked++
+	}
+	if asked == 0 {
+		t.Fatal("no planted concepts to query")
+	}
+	meanPrec /= float64(asked)
+	t.Logf("triple-completion precision@%d = %.2f over %d concepts", k, meanPrec, asked)
+	if meanPrec < 0.5 {
+		t.Errorf("triple-completion precision@%d = %.2f, want ≥ 0.5", k, meanPrec)
+	}
+}
+
+func conceptName(kb *gen.KB, ci int) string {
+	if ci < 0 || ci >= len(kb.Concepts) {
+		return "?"
+	}
+	return kb.Concepts[ci].Name
+}

@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/haten2/haten2/internal/matrix"
+)
+
+// Config sizes the serving engine. The zero value of any field selects
+// a sensible default; see New.
+type Config struct {
+	// Shards is the number of row-wise shards of the object factor,
+	// each owned by one persistent worker goroutine.
+	Shards int
+	// CacheSize is the per-stripe LRU capacity (stripe count equals
+	// Shards). Zero disables caching entirely.
+	CacheSize int
+	// MaxBatch caps how many concurrent queries one dispatch merges
+	// into a single blocked matrix kernel call.
+	MaxBatch int
+	// QueueDepth is the request channel capacity between callers and
+	// the dispatcher.
+	QueueDepth int
+	// NoCache disables the result cache (CacheSize is ignored). The
+	// load benchmark uses it to separate batching wins from cache wins.
+	NoCache bool
+}
+
+// inFlightBatches is the dispatch pipeline depth: one batch being
+// scored by the workers while the dispatcher assembles the next.
+const inFlightBatches = 2
+
+// request is one query traveling through the dispatcher. Requests are
+// pooled; results is a reusable buffer the completing worker fills.
+type request struct {
+	subject   int64
+	predicate int64
+	k         int
+	results   []Result
+	err       error
+	done      chan struct{}
+}
+
+// batch is one dispatch unit: up to MaxBatch requests scored together.
+// All of its buffers are reused across dispatches, so the steady state
+// allocates nothing.
+type batch struct {
+	reqs []*request
+	// q is the B×R query block; row i is request i's query vector.
+	q matrix.Matrix
+	// partials[i*shards+sh] is request i's top-k within shard sh.
+	partials [][]Result
+	// mergeParts/heads/pos are MergeTopK scratch.
+	mergeParts [][]Result
+	heads, pos []int
+	// remaining counts workers still scoring this batch; the worker
+	// that decrements it to zero merges and completes the requests.
+	remaining int32
+}
+
+// shardWorker owns one contiguous row range [lo, hi) of the object
+// factor and a reusable score panel for it.
+type shardWorker struct {
+	id     int
+	lo, hi int
+	rows   matrix.Matrix // row-slice view of the object factor
+	scores matrix.Matrix // B×(hi-lo) panel, data reused
+	in     chan *batch
+	srv    *Server
+}
+
+// Server answers top-k factor queries at high throughput: queries are
+// batched by a dispatcher, scored shard-parallel with a blocked
+// matrix kernel, merged on a k-way heap, and cached in striped LRUs
+// with single-flight coalescing (DESIGN.md §3h). All rankings are
+// bit-identical to internal/baseline's single-threaded scorer
+// regardless of Shards, MaxBatch, or GOMAXPROCS.
+type Server struct {
+	model   *Model
+	cfg     Config
+	stripes []*stripe
+	workers []*shardWorker
+
+	queue       chan *request
+	freeBatches chan *batch
+	wg          sync.WaitGroup
+
+	reqPool   sync.Pool
+	scorePool sync.Pool // *[]float64 scratch for the unsharded paths
+
+	queries     atomic.Uint64
+	batches     atomic.Uint64
+	batchedReqs atomic.Uint64
+}
+
+// New builds a Server over the model and starts its dispatcher and
+// shard workers. The caller must Close it to join them. Zero config
+// fields default to Shards 4 (clamped to the object count), CacheSize
+// 1024 per stripe, MaxBatch 32, QueueDepth 4×MaxBatch.
+func New(model *Model, cfg Config) (*Server, error) {
+	if model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards > model.Objects() {
+		cfg.Shards = model.Objects()
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1 // empty object mode still gets one worker
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.NoCache {
+		cfg.CacheSize = 0
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.MaxBatch
+	}
+
+	s := &Server{
+		model:       model,
+		cfg:         cfg,
+		stripes:     make([]*stripe, cfg.Shards),
+		workers:     make([]*shardWorker, cfg.Shards),
+		queue:       make(chan *request, cfg.QueueDepth),
+		freeBatches: make(chan *batch, inFlightBatches),
+	}
+	for i := range s.stripes {
+		s.stripes[i] = &stripe{
+			lru:     newLRU(cfg.CacheSize),
+			flights: make(map[qkey]*flight),
+		}
+	}
+	s.reqPool.New = func() any {
+		return &request{done: make(chan struct{}, 1)}
+	}
+	s.scorePool.New = func() any {
+		buf := make([]float64, 0)
+		return &buf
+	}
+
+	obj := model.Factor(1)
+	r := model.QueryDim()
+	for i := 0; i < cfg.Shards; i++ {
+		lo := i * obj.Rows / cfg.Shards
+		hi := (i + 1) * obj.Rows / cfg.Shards
+		w := &shardWorker{
+			id: i,
+			lo: lo,
+			hi: hi,
+			rows: matrix.Matrix{
+				Rows: hi - lo,
+				Cols: r,
+				Data: obj.Data[lo*r : hi*r],
+			},
+			in:  make(chan *batch, inFlightBatches),
+			srv: s,
+		}
+		s.workers[i] = w
+	}
+	for b := 0; b < inFlightBatches; b++ {
+		s.freeBatches <- &batch{
+			partials:   make([][]Result, cfg.MaxBatch*cfg.Shards),
+			mergeParts: make([][]Result, 0, cfg.Shards),
+			q:          matrix.Matrix{Cols: r},
+		}
+	}
+
+	s.wg.Add(1 + len(s.workers))
+	//haten2:allow goleak dispatcher is a persistent daemon; Close closes s.queue and s.wg.Wait joins it
+	go s.dispatch()
+	for _, w := range s.workers {
+		//haten2:allow goleak shard workers are persistent daemons; the dispatcher closes their channels on shutdown and Close's s.wg.Wait joins them
+		go w.run()
+	}
+	return s, nil
+}
+
+// Close shuts the dispatcher and workers down and joins them. Queries
+// must have drained before Close; querying a closed server panics.
+func (s *Server) Close() {
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// dispatch is the batching loop: it blocks for the first request, then
+// drains whatever else is already queued (up to MaxBatch) without
+// waiting — adaptive batching with no timers, so the serving layer
+// stays wall-clock-free. Under load batches fill up; an idle server
+// degenerates to batch size 1 with no added latency.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		req, ok := <-s.queue
+		if !ok {
+			for _, w := range s.workers {
+				close(w.in)
+			}
+			return
+		}
+		b := <-s.freeBatches
+		b.reqs = append(b.reqs[:0], req)
+	fill:
+		for len(b.reqs) < s.cfg.MaxBatch {
+			select {
+			case more, open := <-s.queue:
+				if !open {
+					// Dispatch what we have; the outer receive
+					// observes the close on the next iteration.
+					break fill
+				}
+				b.reqs = append(b.reqs, more)
+			default:
+				break fill
+			}
+		}
+		s.batches.Add(1)
+		s.batchedReqs.Add(uint64(len(b.reqs)))
+
+		// Build the query block: row i is request i's query vector.
+		n := len(b.reqs) * b.q.Cols
+		if cap(b.q.Data) < n {
+			b.q.Data = make([]float64, n)
+		}
+		b.q.Data = b.q.Data[:n]
+		b.q.Rows = len(b.reqs)
+		for i, r := range b.reqs {
+			s.model.queryVecInto(b.q.Row(i), r.subject, r.predicate)
+		}
+
+		atomic.StoreInt32(&b.remaining, int32(len(s.workers)))
+		for _, w := range s.workers {
+			w.in <- b
+		}
+	}
+}
+
+// run is a shard worker's loop: score every request in the batch over
+// this shard's rows with one blocked kernel call, select the per-shard
+// top-k, and — if this worker is the last to finish the batch — merge
+// the shards and complete the requests.
+func (w *shardWorker) run() {
+	defer w.srv.wg.Done()
+	for b := range w.in {
+		nb := len(b.reqs)
+		n := nb * w.rows.Rows
+		if cap(w.scores.Data) < n {
+			w.scores.Data = make([]float64, n)
+		}
+		w.scores.Data = w.scores.Data[:n]
+		w.scores.Rows = nb
+		w.scores.Cols = w.rows.Rows
+		matrix.MulBTInto(&w.scores, &b.q, &w.rows)
+
+		shards := len(w.srv.workers)
+		for i, req := range b.reqs {
+			slot := i*shards + w.id
+			b.partials[slot] = SelectTopK(b.partials[slot][:0], w.scores.Row(i), int64(w.lo), req.k)
+		}
+		if atomic.AddInt32(&b.remaining, -1) == 0 {
+			w.srv.complete(b)
+		}
+	}
+}
+
+// complete merges each request's per-shard partials into its final
+// ranking and wakes the caller. Runs on whichever worker finished the
+// batch last; the dispatcher has already moved on to the next batch.
+func (s *Server) complete(b *batch) {
+	shards := len(s.workers)
+	for i, req := range b.reqs {
+		b.mergeParts = b.mergeParts[:0]
+		for sh := 0; sh < shards; sh++ {
+			b.mergeParts = append(b.mergeParts, b.partials[i*shards+sh])
+		}
+		req.results, b.heads, b.pos = MergeTopK(req.results[:0], b.mergeParts, req.k, b.heads, b.pos)
+		req.err = nil
+		req.done <- struct{}{}
+	}
+	s.freeBatches <- b
+}
+
+// TopKObjects ranks the k strongest objects for a (subject, predicate)
+// pair — the model's answer to "which objects complete this triple".
+// Results are appended to dst (pass a reused buffer with cap ≥ k for a
+// zero-allocation hit path) best first, ties broken by lower index.
+func (s *Server) TopKObjects(subject, predicate int64, k int, dst []Result) ([]Result, error) {
+	if err := s.model.validQuery(subject, predicate); err != nil {
+		return dst[:0], err
+	}
+	if k > s.model.Objects() {
+		k = s.model.Objects()
+	}
+	if k <= 0 {
+		return dst[:0], nil
+	}
+	s.queries.Add(1)
+	key := qkey{subject: subject, predicate: predicate, k: k}
+	st := s.stripes[key.hash()%uint64(len(s.stripes))]
+
+	res, cached, fl, leader := st.lookup(key, dst)
+	if cached {
+		return res, nil
+	}
+	if !leader {
+		<-fl.done
+		if fl.err != nil {
+			return dst[:0], fl.err
+		}
+		return append(dst[:0], fl.results...), nil
+	}
+
+	req := s.reqPool.Get().(*request)
+	req.subject, req.predicate, req.k = subject, predicate, k
+	s.queue <- req
+	<-req.done
+	dst = append(dst[:0], req.results...)
+	err := req.err
+	st.finish(key, fl, req.results, err)
+	s.reqPool.Put(req)
+	if err != nil {
+		return dst[:0], err
+	}
+	return dst, nil
+}
+
+// Membership ranks the k latent components an entity loads most
+// heavily on — the concept-membership lookup of the paper's knowledge
+// base application. Scores are absolute factor loadings; the ranking
+// is unaffected by the §IV-C row normalization (a per-row constant)
+// and needs no sharding at rank-sized cost.
+func (s *Server) Membership(entity int64, k int, dst []Result) ([]Result, error) {
+	obj := s.model.Factor(1)
+	if entity < 0 || entity >= int64(obj.Rows) {
+		return dst[:0], fmt.Errorf("serve: entity %d out of range [0, %d)", entity, obj.Rows)
+	}
+	row := obj.Row(int(entity))
+	bufp := s.scorePool.Get().(*[]float64)
+	buf := *bufp
+	if cap(buf) < len(row) {
+		buf = make([]float64, len(row))
+	}
+	buf = buf[:len(row)]
+	for i, v := range row {
+		if v < 0 {
+			v = -v
+		}
+		buf[i] = v
+	}
+	dst = SelectTopK(dst[:0], buf, 0, k)
+	*bufp = buf
+	s.scorePool.Put(bufp)
+	return dst, nil
+}
+
+// ConceptMembers ranks the k entities that load most heavily on one
+// latent component, normalized per row against dominant entities
+// exactly as the paper's discovery tables are (§IV-C). This is the
+// inverse of Membership and what the end-to-end test checks against
+// internal/gen's planted concepts.
+func (s *Server) ConceptMembers(component int, k int, dst []Result) ([]Result, error) {
+	obj := s.model.Factor(1)
+	if component < 0 || component >= obj.Cols {
+		return dst[:0], fmt.Errorf("serve: component %d out of range [0, %d)", component, obj.Cols)
+	}
+	bufp := s.scorePool.Get().(*[]float64)
+	var res []Result
+	res, *bufp = ColumnTopK(dst[:0], obj, component, s.model.RowTotals(1), k, *bufp)
+	s.scorePool.Put(bufp)
+	return res, nil
+}
+
+// Stats is a snapshot of the server's traffic counters. Counters are
+// about observability, never behavior: the determinism invariant lets
+// them vary run to run while rankings stay bit-identical.
+type Stats struct {
+	Queries     uint64 // TopKObjects calls admitted
+	CacheHits   uint64 // served from an LRU stripe
+	CacheMisses uint64 // computed as a single-flight leader
+	Coalesced   uint64 // followers that waited on a leader's flight
+	Batches     uint64 // dispatches to the shard workers
+	BatchedReqs uint64 // requests carried by those dispatches
+
+	Shards    int
+	CacheSize int // per-stripe LRU capacity
+	MaxBatch  int
+}
+
+// BatchOccupancy is the mean number of requests per dispatched batch.
+func (st Stats) BatchOccupancy() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.BatchedReqs) / float64(st.Batches)
+}
+
+// HitRate is the fraction of admitted queries served from cache.
+func (st Stats) HitRate() float64 {
+	if st.Queries == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(st.Queries)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Queries:     s.queries.Load(),
+		Batches:     s.batches.Load(),
+		BatchedReqs: s.batchedReqs.Load(),
+		Shards:      s.cfg.Shards,
+		CacheSize:   s.cfg.CacheSize,
+		MaxBatch:    s.cfg.MaxBatch,
+	}
+	for _, sp := range s.stripes {
+		h, m, c := sp.stats()
+		st.CacheHits += h
+		st.CacheMisses += m
+		st.Coalesced += c
+	}
+	return st
+}
