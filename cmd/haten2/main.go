@@ -9,6 +9,12 @@
 //	haten2 -method parafac -rank 5 -in fourway.coo          # 4-way input works too
 //	haten2 -method parafac -rank 10 -in tensor.coo -model m.txt
 //	haten2 -method parafac -rank 10 -in tensor.coo -trace run.trace.json -tracesummary
+//	haten2 -method parafac -rank 10 -in tensor.coo -backend proc   # multi-process data plane
+//
+// -backend selects the execution backend: inproc (default) keeps the
+// whole run in this process; proc spawns worker processes that serve
+// shuffle partitions and staged files over local sockets (DESIGN.md
+// §3i). Factor outputs are bit-identical across backends.
 //
 // -trace writes a Chrome trace_event JSON file of the run in simulated
 // time (load it in chrome://tracing or Perfetto); -tracesummary prints
@@ -31,11 +37,16 @@ import (
 	"strings"
 
 	haten2 "github.com/haten2/haten2"
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/mrproc"
 	"github.com/haten2/haten2/internal/obs"
 	"github.com/haten2/haten2/internal/tensor"
 )
 
 func main() {
+	// A copy of this binary spawned by the proc backend is a worker;
+	// divert it before flag parsing.
+	mrproc.MaybeWorker()
 	var (
 		in       = flag.String("in", "", "input tensor file (coordinate format); required")
 		method   = flag.String("method", "parafac", "decomposition: parafac, tucker, nonnegative")
@@ -50,6 +61,7 @@ func main() {
 		model    = flag.String("model", "", "file to save the model to (3-way only)")
 		trace    = flag.String("trace", "", "write a Chrome trace_event JSON file of the run (simulated time) to this path")
 		traceSum = flag.Bool("tracesummary", false, "print the per-job plan summary table after the run")
+		backend  = flag.String("backend", "inproc", "execution backend: inproc (the in-process engine) or proc (multi-process socket workers)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -58,6 +70,7 @@ func main() {
 		variantStr: *variant, machines: *machines, iters: *iters,
 		tol: *tol, seed: *seed, factorsDir: *factors, modelPath: *model,
 		tracePath: *trace, traceSummary: *traceSum, quiet: *quiet,
+		backend: *backend,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "haten2:", err)
@@ -67,11 +80,43 @@ func main() {
 
 type cliConfig struct {
 	in, method, coreStr, variantStr, factorsDir, modelPath string
-	tracePath                                              string
+	tracePath, backend                                     string
 	rank, machines, iters                                  int
 	tol                                                    float64
 	seed                                                   int64
 	traceSummary, quiet                                    bool
+}
+
+// newBackend resolves -backend: nil for the in-process engine, a
+// running mrproc master (spawned worker processes) for proc. The caller
+// installs it on the cluster and closes it after the run.
+func (cfg cliConfig) newBackend() (mr.Backend, error) {
+	switch cfg.backend {
+	case "", "inproc":
+		return nil, nil
+	case "proc":
+		return mrproc.New(mrproc.Options{Workers: 2})
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want inproc or proc)", cfg.backend)
+	}
+}
+
+// installBackend wires the selected backend into the cluster and
+// returns the teardown that drains its workers.
+func installBackend(cfg cliConfig, cluster *haten2.Cluster) (func(), error) {
+	b, err := cfg.newBackend()
+	if err != nil || b == nil {
+		return func() {}, err
+	}
+	cluster.Unwrap().SetBackend(b)
+	if !cfg.quiet {
+		fmt.Printf("backend: %s\n", b.Name())
+	}
+	return func() {
+		if err := b.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "haten2: backend close:", err)
+		}
+	}, nil
 }
 
 // tracer returns a fresh tracer attached to the cluster when tracing
@@ -146,6 +191,11 @@ func run3(cfg cliConfig, raw *tensor.Tensor) error {
 		return err
 	}
 	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: cfg.machines})
+	teardown, err := installBackend(cfg, cluster)
+	if err != nil {
+		return err
+	}
+	defer teardown()
 	tr := cfg.tracer(cluster)
 	opt := haten2.Options{
 		Variant: variant, MaxIters: cfg.iters, Tol: cfg.tol, Seed: cfg.seed, TrackFit: true,
@@ -227,6 +277,11 @@ func run4(cfg cliConfig, raw *tensor.Tensor) error {
 		return fmt.Errorf("-model is supported for 3-way tensors only")
 	}
 	cluster := haten2.NewCluster(haten2.ClusterConfig{Machines: cfg.machines})
+	teardown, err := installBackend(cfg, cluster)
+	if err != nil {
+		return err
+	}
+	defer teardown()
 	tr := cfg.tracer(cluster)
 	opt := haten2.Options{MaxIters: cfg.iters, Tol: cfg.tol, Seed: cfg.seed, TrackFit: true}
 	d := x.Dims()

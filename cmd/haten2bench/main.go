@@ -9,6 +9,7 @@
 //	haten2bench -full            # larger sweeps
 //	haten2bench -json            # machine-readable output
 //	haten2bench -exp mr -mrout BENCH_mr.json  # engine wall-clock sweep
+//	haten2bench -exp mr -backend=proc        # also sweep the multi-process backend
 //	haten2bench -exp faults -faultsout BENCH_faults.json  # fault overhead
 //	haten2bench -exp shuffle -shuffleout BENCH_shuffle.json  # codec A/B
 //	haten2bench -exp storage -storageout BENCH_storage.json  # DFS durability
@@ -22,7 +23,12 @@
 // The mr experiment measures real host wall-clock (not simulated time)
 // of the MapReduce engine across a GOMAXPROCS sweep; -mrout additionally
 // writes its report to the named JSON file (BENCH_mr.json by
-// convention) so the speedup is recorded per machine. The faults
+// convention) so the speedup is recorded per machine. With
+// -backend=proc the sweep additionally runs through the multi-process
+// socket backend (internal/mrproc) — shuffle partitions and staged
+// files round-tripping through spawned worker processes — and records
+// those rows alongside the in-process ones; job counters must match
+// bit-for-bit (DESIGN.md §3i). The faults
 // experiment measures the simulated-time overhead of task retries,
 // speculative execution, and checkpoint-resume against a fault-free
 // baseline, verifying outputs stay bit-identical; -faultsout writes its
@@ -66,13 +72,18 @@ import (
 	"time"
 
 	"github.com/haten2/haten2/internal/bench"
+	"github.com/haten2/haten2/internal/mrproc"
 	"github.com/haten2/haten2/internal/obs"
 )
 
 func main() {
+	// A copy of this binary spawned by the proc backend is a worker, not
+	// a bench run; divert it before flag parsing touches anything.
+	mrproc.MaybeWorker()
 	var (
 		exp        = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		full       = flag.Bool("full", false, "run the larger sweeps")
+		backend    = flag.String("backend", "inproc", "execution backend for experiments that support one: inproc, or proc to also sweep the multi-process socket engine")
 		seed       = flag.Int64("seed", 42, "data generation seed")
 		jsonOut    = flag.Bool("json", false, "emit reports as JSON instead of tables")
 		mrOut      = flag.String("mrout", "", "also write the mr experiment's report to this JSON file")
@@ -107,7 +118,7 @@ func main() {
 		tr = obs.NewTracer()
 	}
 	err := profiled(*cpuProfile, *memProfile, func() error {
-		return run(*exp, *full, *seed, *jsonOut, outs, tr)
+		return run(*exp, *full, *seed, *backend, *jsonOut, outs, tr)
 	})
 	if err == nil {
 		err = exportTrace(tr, *trace, *traceSum)
@@ -182,8 +193,8 @@ func profiled(cpuProfile, memProfile string, fn func() error) error {
 // run executes the selected experiments; outs maps an experiment id to
 // a file its JSON report is additionally written to, and tr (when
 // non-nil) traces every cluster the experiments create.
-func run(exp string, full bool, seed int64, jsonOut bool, outs map[string]string, tr *obs.Tracer) error {
-	cfg := bench.Config{Full: full, Seed: seed, Tracer: tr}
+func run(exp string, full bool, seed int64, backend string, jsonOut bool, outs map[string]string, tr *obs.Tracer) error {
+	cfg := bench.Config{Full: full, Seed: seed, Tracer: tr, Backend: backend}
 	type runner func(bench.Config) (*bench.Report, error)
 	registry := map[string]runner{
 		"table2":   func(bench.Config) (*bench.Report, error) { return bench.Table2(), nil },

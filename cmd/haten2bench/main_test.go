@@ -7,7 +7,7 @@ import (
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", false, 1, false, nil, nil); err == nil {
+	if err := run("nope", false, 1, "inproc", false, nil, nil); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -15,10 +15,10 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunSingleExperiment(t *testing.T) {
 	// table2 is static and instant; this exercises the registry and
 	// printing path end to end.
-	if err := run("table2", false, 1, false, nil, nil); err != nil {
+	if err := run("table2", false, 1, "inproc", false, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table2, table5", false, 1, true, nil, nil); err != nil {
+	if err := run("table2, table5", false, 1, "inproc", true, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,7 +28,7 @@ func TestProfiledWritesProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	if err := profiled(cpu, mem, func() error {
-		return run("table2", false, 1, false, nil, nil)
+		return run("table2", false, 1, "inproc", false, nil, nil)
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestProfiledWritesProfiles(t *testing.T) {
 func TestProfiledPropagatesRunError(t *testing.T) {
 	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
 	err := profiled(cpu, "", func() error {
-		return run("nope", false, 1, false, nil, nil)
+		return run("nope", false, 1, "inproc", false, nil, nil)
 	})
 	if err == nil {
 		t.Fatal("experiment error swallowed by the profiling wrapper")

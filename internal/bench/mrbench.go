@@ -12,6 +12,7 @@ import (
 	"github.com/haten2/haten2/internal/gen"
 	"github.com/haten2/haten2/internal/matrix"
 	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/mrproc"
 )
 
 // MRBench measures the real wall-clock time of one full PARAFAC-DRI
@@ -24,7 +25,12 @@ import (
 //
 // The run at each GOMAXPROCS setting also re-verifies the engine's
 // determinism guarantee: the per-job counters must be bit-identical
-// across all settings.
+// across all settings. With Config.Backend set to "proc" the sweep runs
+// a second time through the multi-process socket backend — every
+// shuffle partition and staged file round-tripping through real worker
+// processes — and those rows must reproduce the in-process counters
+// exactly (the standing invariant: backends may change wall-clock and
+// transport statistics, never output bytes).
 func MRBench(cfg Config) (*Report, error) {
 	dim, nnz := int64(200), 200_000
 	if cfg.Full {
@@ -34,6 +40,21 @@ func MRBench(cfg Config) (*Report, error) {
 	x := gen.Random(cfg.Seed, [3]int64{dim, dim, dim}, nnz)
 	other := [3][2]int{{1, 2}, {0, 2}, {0, 1}}
 
+	type backendCase struct {
+		name    string
+		factory func() (mr.Backend, error)
+	}
+	backends := []backendCase{{"inproc", nil}}
+	switch cfg.Backend {
+	case "", "inproc":
+	case "proc":
+		backends = append(backends, backendCase{"proc", func() (mr.Backend, error) {
+			return mrproc.New(mrproc.Options{Workers: 2})
+		}})
+	default:
+		return nil, fmt.Errorf("bench: unknown backend %q (want inproc or proc)", cfg.Backend)
+	}
+
 	type outcome struct {
 		wall    time.Duration
 		sim     float64
@@ -41,12 +62,20 @@ func MRBench(cfg Config) (*Report, error) {
 		shuffle int64
 		jobs    []mr.JobStats
 	}
-	run := func(procs int) (outcome, error) {
+	run := func(procs int, newBackend func() (mr.Backend, error)) (outcome, error) {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
 		// No shuffle cap: DRI's PairwiseMerge legitimately moves
 		// 2·nnz·R records per contraction.
 		c := mr.NewCluster(mr.Config{Machines: 8, SlotsPerMachine: 4})
 		c.SetTracer(cfg.Tracer)
+		if newBackend != nil {
+			b, err := newBackend()
+			if err != nil {
+				return outcome{}, err
+			}
+			defer b.Close()
+			c.SetBackend(b)
+		}
 		s, err := core.Stage(c, "X", x)
 		if err != nil {
 			return outcome{}, err
@@ -101,33 +130,48 @@ func MRBench(cfg Config) (*Report, error) {
 		ID:    "mr",
 		Title: fmt.Sprintf("engine wall-clock, one PARAFAC-DRI iteration (%s nnz, rank %d)", gen.Human(int64(nnz)), rank),
 		Headers: []string{
-			"GOMAXPROCS", "wall", "speedup", "allocs/op", "shuffle-bytes", "sim-time", "counters",
+			"backend", "GOMAXPROCS", "wall", "speedup", "allocs/op", "shuffle-bytes", "sim-time", "counters",
 		},
 	}
+	// The determinism baseline is the very first run (in-process,
+	// lowest GOMAXPROCS); every other row — including every proc-backend
+	// row — must reproduce its counters. Speedup is reported per backend
+	// against that backend's own first setting.
 	var base outcome
-	for i, p := range procs {
-		out, err := run(p)
-		if err != nil {
-			return nil, err
+	for bi, bk := range backends {
+		var bkBase outcome
+		for i, p := range procs {
+			out, err := run(p, bk.factory)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				bkBase = out
+				if bi == 0 {
+					base = out
+				}
+			}
+			identical := reflect.DeepEqual(base.jobs, out.jobs) && base.sim == out.sim
+			det := "identical"
+			if !identical {
+				det = "DIVERGED"
+				rep.Notes = append(rep.Notes, fmt.Sprintf("DETERMINISM VIOLATION at backend=%s GOMAXPROCS=%d: job counters differ from the in-process GOMAXPROCS=%d baseline", bk.name, p, procs[0]))
+			}
+			rep.Rows = append(rep.Rows, []string{
+				bk.name,
+				count(p),
+				fmt.Sprintf("%.3fs", out.wall.Seconds()),
+				fmt.Sprintf("%.2fx", bkBase.wall.Seconds()/out.wall.Seconds()),
+				count(int(out.allocs)),
+				count(int(out.shuffle)),
+				seconds(out.sim),
+				det,
+			})
 		}
-		if i == 0 {
-			base = out
-		}
-		identical := reflect.DeepEqual(base.jobs, out.jobs) && base.sim == out.sim
-		det := "identical"
-		if !identical {
-			det = "DIVERGED"
-			rep.Notes = append(rep.Notes, fmt.Sprintf("DETERMINISM VIOLATION at GOMAXPROCS=%d: job counters differ from the GOMAXPROCS=%d baseline", p, procs[0]))
-		}
-		rep.Rows = append(rep.Rows, []string{
-			count(p),
-			fmt.Sprintf("%.3fs", out.wall.Seconds()),
-			fmt.Sprintf("%.2fx", base.wall.Seconds()/out.wall.Seconds()),
-			count(int(out.allocs)),
-			count(int(out.shuffle)),
-			seconds(out.sim),
-			det,
-		})
+	}
+	if len(backends) > 1 {
+		rep.Notes = append(rep.Notes,
+			"proc rows run the same iteration through the multi-process socket backend (2 worker processes, loopback TCP); their counters must match the in-process rows bit-for-bit")
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("host has %d CPU core(s); wall-clock speedup is bounded by physical cores, simulated time is invariant by construction", runtime.NumCPU()),

@@ -87,6 +87,12 @@ type Config struct {
 	// experiments create, so one trace file covers a whole harness run
 	// (haten2bench's -trace flag).
 	Tracer *obs.Tracer
+	// Backend selects the execution backend for experiments that
+	// support one (currently mr): "" or "inproc" measures only the
+	// in-process engine; "proc" additionally sweeps the multi-process
+	// socket backend (internal/mrproc) and reports its rows alongside
+	// the in-process ones (haten2bench's -backend flag).
+	Backend string
 }
 
 // seconds renders a simulated duration with adaptive precision.

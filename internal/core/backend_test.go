@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/haten2/haten2/internal/gen"
+	"github.com/haten2/haten2/internal/mr"
+)
+
+// TestOptionsBackendSelection pins the Options.Backend seam: a run with
+// a backend installed produces bit-identical factors to the in-process
+// run, and the driver restores the cluster's previous backend when it
+// returns.
+func TestOptionsBackendSelection(t *testing.T) {
+	x := gen.Random(9, [3]int64{8, 7, 6}, 80)
+	opt := Options{Variant: DRI, MaxIters: 2, Tol: 1e-12, Seed: 3}
+	base, err := ParafacALS(mr.NewCluster(mr.Config{Machines: 2, SlotsPerMachine: 2}), x, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mr.NewCluster(mr.Config{Machines: 2, SlotsPerMachine: 2})
+	opt.Backend = mr.NewLoopback()
+	got, err := ParafacALS(c, x, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend() != nil {
+		t.Fatal("driver did not restore the cluster's previous backend")
+	}
+	if len(base.Model.Lambda) != len(got.Model.Lambda) {
+		t.Fatalf("rank mismatch: %d vs %d", len(base.Model.Lambda), len(got.Model.Lambda))
+	}
+	for r := range base.Model.Lambda {
+		if math.Float64bits(base.Model.Lambda[r]) != math.Float64bits(got.Model.Lambda[r]) {
+			t.Fatalf("lambda[%d] differs: %v vs %v", r, base.Model.Lambda[r], got.Model.Lambda[r])
+		}
+	}
+	for m := range base.Model.Factors {
+		a, b := base.Model.Factors[m], got.Model.Factors[m]
+		for i := range a.Data {
+			if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+				t.Fatalf("factor %d entry %d differs under backend", m, i)
+			}
+		}
+	}
+}

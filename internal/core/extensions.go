@@ -33,6 +33,7 @@ func NonnegativeParafac(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) 
 		}
 	}
 	opt = opt.withDefaults()
+	defer installBackend(c, opt)()
 	s, err := Stage(c, tmpName(c, "nnparafac", "X"), x)
 	if err != nil {
 		return nil, err
@@ -116,6 +117,7 @@ func MaskedParafacALS(c *mr.Cluster, x *tensor.Tensor, missing [][3]int64, rank 
 		return nil, fmt.Errorf("core: rank must be positive, got %d", rank)
 	}
 	opt = opt.withDefaults()
+	defer installBackend(c, opt)()
 	// Strip any observed values at missing coordinates.
 	missSet := make(map[[3]int64]struct{}, len(missing))
 	for _, idx := range missing {

@@ -26,6 +26,7 @@ func ParafacALSN(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Paraf
 		return nil, fmt.Errorf("core: rank must be positive, got %d", rank)
 	}
 	opt = opt.withDefaults()
+	defer installBackend(c, opt)()
 	s, err := StageN(c, tmpName(c, "parafacN", "X"), x)
 	if err != nil {
 		return nil, err
@@ -125,6 +126,7 @@ func TuckerALSN(c *mr.Cluster, x *tensor.Tensor, core []int, opt Options) (*Tuck
 		}
 	}
 	opt = opt.withDefaults()
+	defer installBackend(c, opt)()
 	s, err := StageN(c, tmpName(c, "tuckerN", "X"), x)
 	if err != nil {
 		return nil, err

@@ -48,6 +48,25 @@ type Options struct {
 	// CodecFixed (the per-record fallback). It affects byte accounting
 	// only — factor outputs are bit-identical under both.
 	Codec Codec
+	// Backend, when non-nil, selects the execution backend for the run:
+	// the driver installs it on the cluster before staging the input (so
+	// the tensor itself ships through the backend's data plane) and
+	// restores the cluster's previous backend on return. Backends — e.g.
+	// the multi-process socket engine of internal/mrproc — may change
+	// wall-clock time and transport statistics, never output bytes.
+	Backend mr.Backend
+}
+
+// installBackend installs opt.Backend on c for the duration of a run.
+// It returns the restore function drivers defer; a nil Backend makes
+// both directions no-ops.
+func installBackend(c *mr.Cluster, opt Options) func() {
+	if opt.Backend == nil {
+		return func() {}
+	}
+	prev := c.Backend()
+	c.SetBackend(opt.Backend)
+	return func() { c.SetBackend(prev) }
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +104,7 @@ func ParafacALS(c *mr.Cluster, x *tensor.Tensor, rank int, opt Options) (*Parafa
 		return nil, fmt.Errorf("core: rank must be positive, got %d", rank)
 	}
 	opt = opt.withDefaults()
+	defer installBackend(c, opt)()
 	s, err := Stage(c, tmpName(c, "parafac", "X"), x)
 	if err != nil {
 		return nil, err

@@ -40,6 +40,7 @@ func TuckerALS(c *mr.Cluster, x *tensor.Tensor, core [3]int, opt Options) (*Tuck
 		}
 	}
 	opt = opt.withDefaults()
+	defer installBackend(c, opt)()
 	s, err := Stage(c, tmpName(c, "tucker", "X"), x)
 	if err != nil {
 		return nil, err

@@ -162,6 +162,9 @@ type FS struct {
 	stats   Stats
 	// faults is the installed storage fault plan; nil runs clean.
 	faults *StorageFaults
+	// remote, when non-nil, mirrors published files into an external
+	// block store (see remote.go). Hooks fire outside fs.mu.
+	remote Remote
 }
 
 // New returns an empty file system with the given options
@@ -306,7 +309,22 @@ func (w *Writer) AppendBlock(payload any, count int, size int64) {
 // checksums, and charges block-level accounting. The publish happens
 // exactly once: a second Close, or Close after Abort, panics — the
 // commit protocol treats a double commit as task-attempt corruption.
+// When a remote mirror is installed, the newly published file is
+// shipped to it after the publish, outside the file-system mutex.
 func (w *Writer) Close() {
+	remote, payload, count, recs := w.commit()
+	if remote != nil {
+		remote.Ship(w.name, payload, count, recs)
+	}
+}
+
+// commit performs the locked portion of Close and returns the remote
+// hook to notify (nil when none is installed) together with a snapshot
+// of the published content taken under the lock — the payload and
+// record storage are append-frozen from publication on, but the record
+// slice header itself may later be replaced by lazy materialization,
+// so it must be captured here, not read from w.f afterwards.
+func (w *Writer) commit() (Remote, any, int, []Record) {
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
 	switch w.state {
@@ -325,6 +343,7 @@ func (w *Writer) Close() {
 	}
 	w.f.repl = w.fs.opts.Replication
 	w.fs.stats.BlocksWritten += int64(len(w.f.sums))
+	return w.fs.remote, w.f.typed, w.f.count, w.f.records
 }
 
 // Abort discards a staged file, releasing its name. The bytes already
@@ -466,14 +485,21 @@ func (fs *FS) Exists(name string) bool {
 }
 
 // Delete removes a file. Deleting an absent file returns ErrNotExist.
+// An installed remote mirror is told to drop its copy, outside the
+// file-system mutex.
 func (fs *FS) Delete(name string) error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if _, ok := fs.files[name]; !ok {
+		fs.mu.Unlock()
 		return &ErrNotExist{Name: name}
 	}
 	delete(fs.files, name)
 	fs.stats.FilesDeleted++
+	remote := fs.remote
+	fs.mu.Unlock()
+	if remote != nil {
+		remote.Drop(name)
+	}
 	return nil
 }
 

@@ -175,6 +175,11 @@ func (bf *borrowFlow) transfer(n ast.Node, f Fact) Fact {
 			return setAdd(m, obj)
 		}
 		return setDel(m, obj)
+	case *DeferRun:
+		// The deferred call runs at function exit; its body can hand
+		// slices to AppendBlock like straight-line code, but the marker
+		// itself is synthetic — unwrap it before any AST walk.
+		return bf.taintAppendBlockArgs(n.Defer, m)
 	case *RangeHead:
 		// Ranging over a tainted container taints the value (and key)
 		// bindings: element-wise releases of collected views must be

@@ -77,3 +77,29 @@ func okTypeSwitchCopy(name string) {
 }
 
 func useBorrow(s []int64) {}
+
+// okDeferredCleanupWithBorrow pairs a borrow with an unrelated deferred
+// cleanup. The exit block holds synthetic DeferRun nodes; the transfer
+// function must unwrap them before any AST walk (this shape crashed the
+// solver when DeferRun reached ast.Inspect directly).
+func okDeferredCleanupWithBorrow(name string) {
+	defer useBorrow(nil)
+	payload, n, ok, _ := theFS.BlockView(name)
+	if !ok {
+		return
+	}
+	if s, isT := payload.([]int64); isT {
+		out := make([]int64, n)
+		copy(out, s)
+		putSlice(out)
+	}
+}
+
+// flaggedDeferredAppendThenRecycle transfers ownership in one deferred
+// call and recycles in another that runs later (defers are LIFO): the
+// taint must propagate across the DeferRun nodes of the exit block.
+func flaggedDeferredAppendThenRecycle(items []int64) {
+	defer putSlice(items) // want "slice items aliases DFS block storage"
+	defer theWriter.AppendBlock(items, len(items), 8*int64(len(items)))
+	useBorrow(nil)
+}

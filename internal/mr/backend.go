@@ -1,0 +1,270 @@
+package mr
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"github.com/haten2/haten2/internal/dfs"
+	"github.com/haten2/haten2/internal/mr/wire"
+)
+
+// Backend is the engine's pluggable data plane. A job's computation —
+// the map, combine, and reduce closures — always runs in the engine's
+// process (closures cannot cross a process boundary), but everything
+// the computation consumes and produces as *data* can be routed
+// elsewhere: the shuffle partitions each map task emits for each
+// reducer, and the DFS blocks jobs read as input and drivers write
+// between jobs. A Backend moves those bytes.
+//
+// Two implementations ship with the engine: the in-process backend
+// (the zero value of a cluster — no Backend at all, data never leaves
+// the heap) and Loopback, which runs the full encode→ship→fetch→decode
+// cycle against in-memory storage, pinning the serialization seam
+// without processes. Package mrproc adds the real one: worker
+// processes serving partitions and blocks over local sockets.
+//
+// The standing invariant of the whole engine carries over verbatim:
+// backends may change wall-clock time and transport statistics, never
+// output bytes. The conformance suite (internal/mr/conformance) holds
+// every implementation to it — golden traces, the fault matrix, and
+// factor matrices must be bit-identical to the in-process engine.
+//
+// Error semantics: ShipFile/FetchFile are best-effort mirrors — a
+// fetch that fails (file never shipped, encode unsupported, worker
+// lost beyond replication) makes the engine fall back to its
+// in-process read of the same bytes, so file-plane failures degrade
+// throughput, never correctness. The shuffle plane is authoritative:
+// partitions exist only in the backend once shipped, so
+// ShipPartition/FetchPartition errors fail the job, exactly as a real
+// cluster fails a job whose map outputs become unreachable.
+type Backend interface {
+	// Name identifies the backend in reports ("local", "loopback",
+	// "proc").
+	Name() string
+	// InProcess reports that the data plane lives in engine memory, in
+	// which case the engine skips the encode/ship cycle entirely and
+	// runs its zero-copy fast path.
+	InProcess() bool
+	// ShipPartition hands the backend one map task's encoded shuffle
+	// partition for one reducer. The data slice is owned by the backend
+	// after the call.
+	ShipPartition(k PartKey, data []byte) error
+	// FetchPartition returns a previously shipped partition, or
+	// (nil, nil) when no partition was shipped for k (an empty bucket).
+	FetchPartition(k PartKey) ([]byte, error)
+	// ReleaseJob frees every partition of the named job run.
+	ReleaseJob(job string, seq int64) error
+	// ShipFile mirrors the encoded content of a published DFS file.
+	ShipFile(name string, data []byte) error
+	// FetchFile returns the encoded content of a mirrored file.
+	FetchFile(name string) ([]byte, error)
+	// DropFile removes a mirrored file. Dropping an absent file is a
+	// no-op.
+	DropFile(name string) error
+	// Close releases the backend's resources (for mrproc: drains and
+	// stops the worker processes). The backend must not be used after.
+	Close() error
+}
+
+// PartKey identifies one map task's shuffle output for one reducer
+// within one job run. Seq is the cluster's job sequence number, which
+// distinguishes reruns of same-named jobs.
+type PartKey struct {
+	Job     string
+	Seq     int64
+	Task    int
+	Reducer int
+}
+
+// ErrNoPartition reports a fetch of a partition the backend never
+// received — distinct from an empty partition, which fetches as
+// (nil, nil).
+type ErrNoPartition struct{ Key PartKey }
+
+func (e *ErrNoPartition) Error() string {
+	return fmt.Sprintf("mr: no partition shipped for %s/%d task %d reducer %d",
+		e.Key.Job, e.Key.Seq, e.Key.Task, e.Key.Reducer)
+}
+
+// ErrNoRemoteFile reports a fetch of a file the backend does not
+// mirror; the engine falls back to the in-process read path.
+type ErrNoRemoteFile struct{ Name string }
+
+func (e *ErrNoRemoteFile) Error() string {
+	return fmt.Sprintf("mr: file %q is not mirrored by the backend", e.Name)
+}
+
+// --- Loopback ----------------------------------------------------------
+
+// Loopback is a Backend that stores shipped bytes in process memory.
+// It exists to pin the serialization seam: with Loopback installed the
+// engine runs the exact code path of a multi-process backend — every
+// shuffle partition and every job input is encoded, shipped, fetched,
+// and decoded — without sockets or subprocesses. The conformance suite
+// runs it as the bridge case between the in-process engine and mrproc.
+type Loopback struct {
+	mu    sync.Mutex
+	parts map[PartKey][]byte
+	files map[string][]byte
+}
+
+// NewLoopback returns an empty loopback backend.
+func NewLoopback() *Loopback {
+	return &Loopback{parts: make(map[PartKey][]byte), files: make(map[string][]byte)}
+}
+
+func (l *Loopback) Name() string    { return "loopback" }
+func (l *Loopback) InProcess() bool { return false }
+
+func (l *Loopback) ShipPartition(k PartKey, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.parts[k] = data
+	return nil
+}
+
+func (l *Loopback) FetchPartition(k PartKey) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.parts[k], nil
+}
+
+func (l *Loopback) ReleaseJob(job string, seq int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for k := range l.parts {
+		if k.Job == job && k.Seq == seq {
+			delete(l.parts, k)
+		}
+	}
+	return nil
+}
+
+func (l *Loopback) ShipFile(name string, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.files[name] = data
+	return nil
+}
+
+func (l *Loopback) FetchFile(name string) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, ok := l.files[name]
+	if !ok {
+		return nil, &ErrNoRemoteFile{Name: name}
+	}
+	return data, nil
+}
+
+func (l *Loopback) DropFile(name string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.files, name)
+	return nil
+}
+
+func (l *Loopback) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.parts, l.files = make(map[PartKey][]byte), make(map[string][]byte)
+	return nil
+}
+
+// --- cluster wiring ----------------------------------------------------
+
+// SetBackend installs (or with nil removes) the cluster's execution
+// backend and, for an out-of-process backend, wires the DFS's remote
+// mirror hook to it so every file published from now on is shipped.
+// Install the backend before staging data: files published earlier are
+// not mirrored (the engine falls back to in-process reads for them).
+func (c *Cluster) SetBackend(b Backend) {
+	c.mu.Lock()
+	c.backend = b
+	c.mu.Unlock()
+	if b != nil && !b.InProcess() {
+		c.fs.SetRemote(&remoteAdapter{b: b})
+	} else {
+		c.fs.SetRemote(nil)
+	}
+}
+
+// Backend returns the installed backend, or nil for the in-process
+// engine.
+func (c *Cluster) Backend() Backend {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backend
+}
+
+// remote returns the backend when it routes data out of the engine's
+// heap, nil otherwise — the single switch the engine's data-plane
+// code branches on.
+func (c *Cluster) remote() Backend {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.backend != nil && !c.backend.InProcess() {
+		return c.backend
+	}
+	return nil
+}
+
+// remoteAdapter bridges the DFS's publish/delete hooks to a Backend:
+// published files are encoded with the wire codec and shipped; files
+// whose payload type the codec cannot express (or whose ship fails)
+// are simply not mirrored, and reads of them fall back in-process.
+type remoteAdapter struct{ b Backend }
+
+func (a *remoteAdapter) Ship(name string, payload any, count int, recs []dfs.Record) {
+	var data []byte
+	var err error
+	if payload != nil {
+		data, err = wire.EncodeSlice(payload)
+	} else {
+		data, err = wire.EncodeRecords(recs)
+	}
+	if err != nil {
+		// Unsupported payload (unregistered boxed type, map-valued
+		// record, ...): leave the file unmirrored. Correctness is
+		// untouched — the engine reads it in-process.
+		return
+	}
+	//haten2:allow errcheck-io best-effort mirror: a failed ship leaves the file unmirrored and reads fall back in-process
+	_ = a.b.ShipFile(name, data)
+}
+
+func (a *remoteAdapter) Drop(name string) {
+	//haten2:allow errcheck-io best-effort mirror: dropping an absent remote copy is harmless
+	_ = a.b.DropFile(name)
+}
+
+// fetchTyped fetches the mirrored encoding of a block-written file and
+// decodes it to the same element type as the in-process payload it
+// shadows. ok is false when the backend does not mirror the file (or
+// the fetched bytes fail to decode), in which case the caller uses the
+// in-process payload.
+func fetchTyped(b Backend, name string, local any, want int) (payload any, ok bool) {
+	data, err := b.FetchFile(name)
+	if err != nil {
+		return nil, false
+	}
+	decoded, err := wire.DecodeSlice(reflect.TypeOf(local).Elem(), data)
+	if err != nil || reflect.ValueOf(decoded).Len() != want {
+		return nil, false
+	}
+	return decoded, true
+}
+
+// fetchRecords is fetchTyped for per-record files.
+func fetchRecords(b Backend, name string, want int) ([]dfs.Record, bool) {
+	data, err := b.FetchFile(name)
+	if err != nil {
+		return nil, false
+	}
+	recs, err := wire.DecodeRecords(data)
+	if err != nil || len(recs) != want {
+		return nil, false
+	}
+	return recs, true
+}

@@ -204,6 +204,11 @@ type Config struct {
 	MaxShuffleRecords int64
 	// Cost is the simulated-time model; zero value takes defaults.
 	Cost CostModel
+	// Backend, when non-nil, is installed on the new cluster as if by
+	// SetBackend: an out-of-process backend routes every job's shuffle
+	// partitions and inputs through it. nil keeps the in-process data
+	// plane.
+	Backend Backend
 }
 
 // Cluster is a simulated Hadoop cluster: a DFS plus job execution with
@@ -231,6 +236,10 @@ type Cluster struct {
 	// run on a fresh cluster reproducible regardless of what ran before
 	// it in the same process.
 	tmpSeq int64
+	// backend, when non-nil and out-of-process, is the data plane jobs
+	// route their shuffle partitions and inputs through (backend.go).
+	// nil runs the in-process fast path.
+	backend Backend
 }
 
 // shuffleHint carries sizing statistics from a completed job to the
@@ -270,7 +279,11 @@ func NewClusterWithFS(cfg Config, fs *dfs.FS) *Cluster {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCostModel()
 	}
-	return &Cluster{cfg: cfg, fs: fs}
+	c := &Cluster{cfg: cfg, fs: fs}
+	if cfg.Backend != nil {
+		c.SetBackend(cfg.Backend)
+	}
+	return c
 }
 
 // InstallFaultPlan installs (or, with nil, removes) a failure schedule

@@ -1,0 +1,23 @@
+package conformance
+
+import (
+	"testing"
+
+	"github.com/haten2/haten2/internal/mr"
+)
+
+// TestConformanceInProcess runs the suite against the in-process engine
+// itself. This is the suite's self-check: the baseline must pass its
+// own battery, or the battery (not a backend) is what drifted.
+func TestConformanceInProcess(t *testing.T) {
+	RunConformance(t, func(t *testing.T) mr.Backend { return nil })
+}
+
+// TestConformanceLoopback runs the suite against the loopback backend:
+// the full encode/ship/fetch/decode data plane with in-memory
+// transport. A failure here and a pass in-process isolates the wire
+// codec or the engine's ship/fetch seam, independent of sockets and
+// processes.
+func TestConformanceLoopback(t *testing.T) {
+	RunConformance(t, func(t *testing.T) mr.Backend { return mr.NewLoopback() })
+}

@@ -2,11 +2,13 @@ package mr
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"github.com/haten2/haten2/internal/dfs"
+	"github.com/haten2/haten2/internal/mr/wire"
 )
 
 // Input binds one DFS file to the map function that processes its
@@ -165,6 +167,10 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	if reducers <= 0 {
 		reducers = c.Workers()
 	}
+	// rb is non-nil when an out-of-process backend owns the data plane:
+	// inputs are fetched from it when mirrored, and the shuffle always
+	// round-trips through it (ship after map, fetch inside reduce).
+	rb := c.remote()
 
 	st := JobStats{Name: job.Name, ReduceTasks: reducers}
 	// Snapshot the DFS storage-fault counters around the input reads so
@@ -305,6 +311,23 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 				return nil, st, fmt.Errorf("mr: job %q: %w", job.Name, err)
 			}
 			nrec = len(recs)
+		}
+		// Out-of-process backend: substitute the mirrored copy of the
+		// input for the in-process payload when the backend serves one.
+		// The local BlockView/SplitRanges calls above still ran — splits,
+		// DFS charges, and storage-fault detection are theirs, so
+		// counters stay byte-identical across backends — but the records
+		// the map tasks consume are the decoded remote bytes. A miss
+		// (unmirrored file, decode failure) keeps the in-process copy:
+		// the file plane degrades to local, never to wrong.
+		if rb != nil {
+			if payload != nil {
+				if dec, ok := fetchTyped(rb, in.File, payload, nrec); ok {
+					payload = dec
+				}
+			} else if rrecs, ok := fetchRecords(rb, in.File, nrec); ok {
+				recs = rrecs
+			}
 		}
 		st.InputRecords += int64(nrec)
 		sz, err := c.fs.Size(in.File)
@@ -462,6 +485,44 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		st.MapAttempts = st.MapTasks
 	}
 
+	// --- Backend shuffle ship ---------------------------------------------
+	// With an out-of-process backend, every (map task, reducer) bucket
+	// leaves the engine's heap here as one encoded partition, keyed by
+	// (job, seq, task, reducer); the reduce phase below fetches the
+	// partitions back in the same task order, so grouping, reduce input
+	// order, and therefore output bytes are identical to the in-process
+	// path. Once shipped, the backend is the sole holder of the shuffle:
+	// ship and fetch errors fail the job, the way a real cluster fails a
+	// job whose map outputs become unreachable.
+	var pairType reflect.Type
+	if rb != nil {
+		defer func() {
+			// Best-effort space reclamation; a failed release leaks remote
+			// partitions until backend Close, nothing more.
+			_ = rb.ReleaseJob(job.Name, jobSeq)
+		}()
+		pairType = reflect.TypeFor[pair[K, V]]()
+		var shipErr error
+		for i := range outs {
+			for r, bucket := range outs[i].buckets {
+				if shipErr == nil && len(bucket) > 0 {
+					data, err := wire.EncodeSlice(bucket)
+					if err == nil {
+						err = rb.ShipPartition(PartKey{Job: job.Name, Seq: jobSeq, Task: i, Reducer: r}, data)
+					}
+					shipErr = err
+				}
+				putSlice(bucket)
+				outs[i].buckets[r] = nil
+			}
+		}
+		if shipErr != nil {
+			st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds + st.StorageSeconds
+			c.record(st)
+			return nil, st, fmt.Errorf("mr: job %q: shuffle ship: %w", job.Name, shipErr)
+		}
+	}
+
 	// --- Shuffle + reduce phases ----------------------------------------
 	// Every reduce task independently groups its own partition with a
 	// pooled two-pass arena (see group.go) — both passes walk the map
@@ -481,19 +542,49 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 	resultBytes := make([]int64, reducers)
 	keyCounts := make([]int64, reducers)
 	redInputs := make([]int64, reducers) // pairs per reduce task, for the fault pass
+	var fetchErrs []error
+	if rb != nil {
+		fetchErrs = make([]error, reducers)
+	}
 	runPool(pool, reducers, func(r int) {
+		// Assemble this reducer's partition in map-task order. In process
+		// the buckets alias the map outputs directly; with a backend each
+		// one is fetched back and decoded — same order, same pairs, so
+		// the group arena sees identical input either way.
+		buckets := make([][]pair[K, V], len(outs))
+		if rb == nil {
+			for i := range outs {
+				buckets[i] = outs[i].buckets[r]
+			}
+		} else {
+			for i := range outs {
+				data, err := rb.FetchPartition(PartKey{Job: job.Name, Seq: jobSeq, Task: i, Reducer: r})
+				if err == nil && len(data) > 0 {
+					var dec any
+					dec, err = wire.DecodeSlice(pairType, data)
+					if err == nil {
+						buckets[i] = dec.([]pair[K, V])
+					}
+				}
+				if err != nil {
+					fetchErrs[r] = fmt.Errorf("partition task %d reducer %d: %w", i, r, err)
+					return
+				}
+			}
+		}
 		g := getGroupArena[K, V](keyCap)
-		for i := range outs {
-			bucket := outs[i].buckets[r]
+		for _, bucket := range buckets {
 			redInputs[r] += int64(len(bucket))
 			g.count(bucket)
 		}
 		g.layout(arenaCap)
-		for i := range outs {
-			bucket := outs[i].buckets[r]
+		for i, bucket := range buckets {
 			g.scatter(bucket)
-			putSlice(bucket)
-			outs[i].buckets[r] = nil
+			if rb == nil {
+				putSlice(bucket)
+				outs[i].buckets[r] = nil
+			}
+			buckets[i] = nil
 		}
 		out := getSlice[O](outCap)
 		emit := func(o O) {
@@ -517,6 +608,21 @@ func Run[K comparable, V any, O any](c *Cluster, job Job[K, V, O]) ([]O, JobStat
 		keyCounts[r] = int64(len(g.keys))
 		putGroupArena(g)
 	})
+
+	if rb != nil {
+		for _, ferr := range fetchErrs {
+			if ferr == nil {
+				continue
+			}
+			for r, out := range results {
+				putSlice(out)
+				results[r] = nil
+			}
+			st.SimSeconds = c.cfg.Cost.JobTime(c.cfg.Machines, st) + st.PenaltySeconds + st.StorageSeconds
+			c.record(st)
+			return nil, st, fmt.Errorf("mr: job %q: shuffle fetch: %w", job.Name, ferr)
+		}
+	}
 
 	// --- Reduce fault pass ------------------------------------------------
 	// Same scheme as the map pass; the blacklist state carries over so a

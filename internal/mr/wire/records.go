@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"github.com/haten2/haten2/internal/dfs"
+)
+
+// ptrOfAny exposes the address of an interface slot to the compiled
+// interface codec.
+func ptrOfAny(p *any) unsafe.Pointer { return unsafe.Pointer(p) }
+
+// Per-record DFS files box each payload as `any`, so shipping one
+// requires the dynamic types to be registered (wire.Register). The
+// encoding is: uvarint count, then per record a zigzag-free varint
+// size and the interface-encoded payload. Encode failure (an
+// unregistered payload type) is an error, not a panic — backends treat
+// such files as local-only and fall back to in-process reads.
+
+// EncodeRecords encodes a per-record file's contents.
+func EncodeRecords(recs []dfs.Record) (out []byte, err error) {
+	defer catch(&err)
+	b := binary.AppendUvarint(nil, uint64(len(recs)))
+	for i := range recs {
+		b = binary.AppendUvarint(b, uint64(recs[i].Size))
+		b = encodeAny(ptrOfAny(&recs[i].Data), b)
+	}
+	return b, nil
+}
+
+// DecodeRecords decodes an EncodeRecords buffer, consuming it fully.
+func DecodeRecords(data []byte) ([]dfs.Record, error) {
+	r := &reader{data: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("wire: record count %d exceeds limit", n)
+	}
+	if int(n) > len(data) && n > 0 {
+		return nil, &ErrTruncated{Need: int(n), Have: len(data)}
+	}
+	recs := make([]dfs.Record, n)
+	for i := range recs {
+		sz, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].Size = int64(sz)
+		if err := decodeAny(ptrOfAny(&recs[i].Data), r); err != nil {
+			return nil, err
+		}
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after records", len(data)-r.off)
+	}
+	return recs, nil
+}

@@ -1,0 +1,192 @@
+// Package mrproc is the multi-process execution backend: worker
+// processes that serve shuffle partitions and DFS file blocks to the
+// engine over local sockets. The engine's computation (map, combine,
+// reduce closures) stays in the master process — closures cannot cross
+// a process boundary — but every byte the computation consumes and
+// produces round-trips through real worker processes, exactly the
+// data-plane shape of the Hadoop cluster the simulator models.
+//
+// The package has three layers:
+//
+//   - frame.go: a length-prefixed, CRC-guarded frame codec. Every
+//     message on a socket is one frame: magic, type, payload length,
+//     payload, CRC-32C over type+length+payload. Truncation, bit flips,
+//     and oversized lengths are errors, never panics or allocations
+//     (FuzzWireFraming pins this).
+//   - proto.go + worker.go: the request/response protocol and the
+//     worker process serving it — a content-addressed chunk store for
+//     files (splitmix64-chained hashes via dfs.HashBytes, so
+//     re-replication and checkpoint shipping move only changed chunks)
+//     and a plain partition store for shuffle data.
+//   - master.go: the mr.Backend implementation — spawns workers,
+//     tracks membership (register → live → draining → exited, dead on
+//     heartbeat miss), places partitions and files by hash, and drains
+//     workers before shutdown.
+package mrproc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout, little-endian:
+//
+//	offset 0: magic   uint32  "2TH\x50" (frameMagic)
+//	offset 4: type    uint8
+//	offset 5: length  uint32  payload bytes, ≤ maxFramePayload
+//	offset 9: payload [length]byte
+//	then:     crc     uint32  CRC-32C over bytes [4, 9+length)
+//
+// The CRC covers type and length as well as the payload, so a flipped
+// length byte fails the checksum instead of desynchronizing the stream.
+const (
+	frameMagic      = uint32(0x50485432) // "2TH\x50" when read LE
+	frameHeaderLen  = 9
+	frameTrailerLen = 4
+	maxFramePayload = 1 << 30
+)
+
+// frameType tags what a frame's payload means. The wire values are
+// part of the protocol; add new types at the end only.
+type frameType uint8
+
+const (
+	ftInvalid    frameType = iota
+	ftHello                // worker → master: register (payload: worker id)
+	ftHelloOK              // master → worker: registration accepted
+	ftPing                 // master → worker: heartbeat probe
+	ftPong                 // worker → master: heartbeat reply
+	ftShipPart             // master → worker: store a shuffle partition
+	ftFetchPart            // master → worker: read a shuffle partition
+	ftPartData             // worker → master: partition bytes
+	ftPartAbsent           // worker → master: no such partition
+	ftReleaseJob           // master → worker: drop a job run's partitions
+	ftShipFile             // master → worker: file manifest (chunk hashes)
+	ftNeedChunks           // worker → master: chunk indices it lacks
+	ftChunkData            // master → worker: one chunk's bytes
+	ftFileOK               // worker → master: file assembled and stored
+	ftFetchFile            // master → worker: read a file
+	ftFileData             // worker → master: file bytes
+	ftFileAbsent           // worker → master: no such file
+	ftDropFile             // master → worker: forget a file
+	ftOK                   // generic success
+	ftError                // generic failure (payload: message)
+	ftDrain                // master → worker: finish in-flight work and stop
+	ftDrainOK              // worker → master: drained, about to exit
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame codec errors. ReadFrame and DecodeFrame never panic on hostile
+// input; they return one of these (or an io error) and never allocate
+// more than the declared payload length, which is capped.
+var (
+	ErrBadMagic  = errors.New("mrproc: bad frame magic")
+	ErrBadCRC    = errors.New("mrproc: frame CRC mismatch")
+	ErrOversized = errors.New("mrproc: frame payload exceeds limit")
+	// errTruncatedFrame reports a buffer that ends mid-frame; the
+	// streaming reader maps it to io.ErrUnexpectedEOF.
+	errTruncatedFrame = errors.New("mrproc: truncated frame")
+)
+
+// encodeFrame appends one complete frame for (t, payload) to dst and
+// returns the extended slice.
+func encodeFrame(dst []byte, t frameType, payload []byte) []byte {
+	if len(payload) > maxFramePayload {
+		// Callers never build oversized payloads (partitions and chunks
+		// are bounded well below the cap); treat it as a programmer
+		// error rather than silently corrupting the stream.
+		panic(fmt.Sprintf("mrproc: encodeFrame payload %d exceeds %d", len(payload), maxFramePayload))
+	}
+	start := len(dst)
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[4] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start+4:], crcTable)
+	var tr [frameTrailerLen]byte
+	binary.LittleEndian.PutUint32(tr[:], crc)
+	return append(dst, tr[:]...)
+}
+
+// decodeFrame parses one frame from the front of b. It returns the
+// frame type, the payload (aliasing b), and the total encoded size
+// consumed. A buffer that ends mid-frame returns errTruncatedFrame; a
+// corrupt one returns ErrBadMagic, ErrOversized, or ErrBadCRC. The
+// declared length is validated against both the cap and the buffer
+// before any use, so hostile lengths cannot trigger huge allocations
+// or out-of-range reads.
+func decodeFrame(b []byte) (frameType, []byte, int, error) {
+	if len(b) < frameHeaderLen {
+		return ftInvalid, nil, 0, errTruncatedFrame
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != frameMagic {
+		return ftInvalid, nil, 0, ErrBadMagic
+	}
+	n := binary.LittleEndian.Uint32(b[5:])
+	if n > maxFramePayload {
+		return ftInvalid, nil, 0, ErrOversized
+	}
+	total := frameHeaderLen + int(n) + frameTrailerLen
+	if len(b) < total {
+		return ftInvalid, nil, 0, errTruncatedFrame
+	}
+	body := b[4 : frameHeaderLen+int(n)]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(b[frameHeaderLen+int(n):]) {
+		return ftInvalid, nil, 0, ErrBadCRC
+	}
+	return frameType(b[4]), b[frameHeaderLen : frameHeaderLen+int(n)], total, nil
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, t frameType, payload []byte) error {
+	buf := encodeFrame(make([]byte, 0, frameHeaderLen+len(payload)+frameTrailerLen), t, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame from r. The payload is freshly allocated
+// (bounded by the validated length) and owned by the caller. Truncated
+// streams return io.ErrUnexpectedEOF, except a clean EOF before any
+// header byte, which returns io.EOF so callers can distinguish an
+// orderly close from a mid-frame cut.
+func readFrame(r io.Reader) (frameType, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return ftInvalid, nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return ftInvalid, nil, unexpected(err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		return ftInvalid, nil, ErrBadMagic
+	}
+	n := binary.LittleEndian.Uint32(hdr[5:])
+	if n > maxFramePayload {
+		return ftInvalid, nil, ErrOversized
+	}
+	rest := make([]byte, int(n)+frameTrailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return ftInvalid, nil, unexpected(err)
+	}
+	crc := crc32.Update(crc32.Checksum(hdr[4:], crcTable), crcTable, rest[:n])
+	if crc != binary.LittleEndian.Uint32(rest[n:]) {
+		return ftInvalid, nil, ErrBadCRC
+	}
+	return frameType(hdr[4]), rest[:n:n], nil
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,629 @@
+package mrproc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/haten2/haten2/internal/dfs"
+	"github.com/haten2/haten2/internal/mr"
+)
+
+// WorkerState is one node of the membership state machine the master
+// drives for each worker process:
+//
+//	Spawned ──register──▶ Live ──drain──▶ Draining ──exit──▶ Exited
+//	   │                   │
+//	   └───timeout──▶ Dead ◀──heartbeat miss / RPC error
+//
+// Dead is terminal short of Exited: the master never reconnects a dead
+// worker (its partitions are gone; jobs holding shuffle there fail and
+// the caller decides what to do). Exited is the orderly end of Close.
+type WorkerState int32
+
+const (
+	StateSpawned WorkerState = iota
+	StateLive
+	StateDraining
+	StateDead
+	StateExited
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case StateSpawned:
+		return "spawned"
+	case StateLive:
+		return "live"
+	case StateDraining:
+		return "draining"
+	case StateDead:
+		return "dead"
+	case StateExited:
+		return "exited"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Options configures a proc backend.
+type Options struct {
+	// Workers is the number of worker processes (default 2).
+	Workers int
+	// Replication is how many workers hold each shipped file (default
+	// min(2, Workers)). Shuffle partitions are not replicated: they are
+	// transient per-job state, and losing one fails the job just as a
+	// lost map output does on Hadoop.
+	Replication int
+	// HeartbeatInterval is the membership probe period (default 500ms).
+	// Zero takes the default; negative disables the heartbeat loop
+	// (liveness is then detected on use).
+	HeartbeatInterval time.Duration
+	// IOTimeout bounds each socket round trip (default 10s).
+	IOTimeout time.Duration
+	// SpawnTimeout bounds how long New waits for all workers to
+	// register (default 10s).
+	SpawnTimeout time.Duration
+	// Command, when non-empty, is the argv of the worker binary
+	// (cmd/haten2worker) to spawn. Empty re-execs the current
+	// executable, relying on an early MaybeWorker call in its main or
+	// TestMain.
+	Command []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Replication <= 0 {
+		o.Replication = 2
+	}
+	if o.Replication > o.Workers {
+		o.Replication = o.Workers
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 10 * time.Second
+	}
+	if o.SpawnTimeout <= 0 {
+		o.SpawnTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Stats counts the backend's transport work. Pure observability: none
+// of these feed the engine's counters or simulated time.
+type Stats struct {
+	PartitionsShipped int64
+	PartitionBytes    int64
+	PartitionsFetched int64
+	FilesShipped      int64
+	FileBytes         int64
+	ChunksShipped     int64
+	ChunkBytesShipped int64
+	// ChunksDeduped/ChunkBytesDeduped count manifest chunks a target
+	// worker already held — content the incremental transfer never
+	// moved.
+	ChunksDeduped     int64
+	ChunkBytesDeduped int64
+	Heartbeats        int64
+	HeartbeatMisses   int64
+}
+
+// worker is the master's handle on one worker process: the connection
+// (serialized by mu — the protocol is strictly request/response per
+// worker), the process, and the membership state.
+type worker struct {
+	id    int
+	cmd   *exec.Cmd
+	state atomic.Int32
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+func (w *worker) getState() WorkerState  { return WorkerState(w.state.Load()) }
+func (w *worker) setState(s WorkerState) { w.state.Store(int32(s)) }
+
+// errWorkerDown reports an operation against a worker that is not live.
+type errWorkerDown struct {
+	id    int
+	state WorkerState
+}
+
+func (e *errWorkerDown) Error() string {
+	return fmt.Sprintf("mrproc: worker %d is %s", e.id, e.state)
+}
+
+// Master is the multi-process backend: it implements mr.Backend by
+// routing shuffle partitions and mirrored files to worker processes
+// over local TCP sockets.
+type Master struct {
+	opt     Options
+	workers []*worker
+
+	stats struct {
+		partsShipped, partBytes, partsFetched atomic.Int64
+		filesShipped, fileBytes               atomic.Int64
+		chunksShipped, chunkBytesShipped      atomic.Int64
+		chunksDeduped, chunkBytesDeduped      atomic.Int64
+		heartbeats, heartbeatMisses           atomic.Int64
+	}
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New spawns opt.Workers worker processes, waits for all of them to
+// register, and starts the membership heartbeat. The returned Master is
+// ready to install with (*mr.Cluster).SetBackend.
+func New(opt Options) (*Master, error) {
+	opt = opt.withDefaults()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mrproc: listen: %w", err)
+	}
+	defer ln.Close() // registration only; all later traffic uses accepted conns
+	m := &Master{opt: opt, hbStop: make(chan struct{}), hbDone: make(chan struct{})}
+	for id := 0; id < opt.Workers; id++ {
+		w := &worker{id: id}
+		w.setState(StateSpawned)
+		cmd, err := spawnWorker(opt, ln.Addr().String(), id)
+		if err != nil {
+			m.killSpawned()
+			return nil, err
+		}
+		w.cmd = cmd
+		m.workers = append(m.workers, w)
+	}
+	deadline := time.Now().Add(opt.SpawnTimeout)
+	for registered := 0; registered < opt.Workers; registered++ {
+		if err := m.acceptOne(ln, deadline); err != nil {
+			m.killSpawned()
+			return nil, err
+		}
+	}
+	if opt.HeartbeatInterval > 0 {
+		//haten2:allow goleak heartbeat loop is the master's persistent daemon; Close closes hbStop and blocks on hbDone to join it
+		go m.heartbeatLoop()
+	} else {
+		close(m.hbDone)
+	}
+	return m, nil
+}
+
+// spawnWorker starts one worker process, either the configured worker
+// binary or a re-exec of the current executable with the environment
+// hook set.
+func spawnWorker(opt Options, addr string, id int) (*exec.Cmd, error) {
+	var cmd *exec.Cmd
+	if len(opt.Command) > 0 {
+		cmd = exec.Command(opt.Command[0], opt.Command[1:]...)
+	} else {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("mrproc: locate executable: %w", err)
+		}
+		cmd = exec.Command(exe)
+	}
+	cmd.Env = append(os.Environ(),
+		envMaster+"="+addr,
+		envID+"="+fmt.Sprint(id),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("mrproc: spawn worker %d: %w", id, err)
+	}
+	return cmd, nil
+}
+
+// acceptOne accepts one registration, validates the hello, and moves
+// that worker to Live.
+func (m *Master) acceptOne(ln net.Listener, deadline time.Time) error {
+	if tl, ok := ln.(*net.TCPListener); ok {
+		if err := tl.SetDeadline(deadline); err != nil {
+			return err
+		}
+	}
+	conn, err := ln.Accept()
+	if err != nil {
+		return fmt.Errorf("mrproc: worker registration: %w", err)
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		conn.Close()
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	t, payload, err := readFrame(br)
+	if err != nil || t != ftHello {
+		conn.Close()
+		return fmt.Errorf("mrproc: bad registration frame (type %d): %v", t, err)
+	}
+	id, err := decHello(payload)
+	if err != nil || id < 0 || id >= len(m.workers) {
+		conn.Close()
+		return fmt.Errorf("mrproc: registration with invalid worker id %d: %v", id, err)
+	}
+	w := m.workers[id]
+	if w.getState() != StateSpawned {
+		conn.Close()
+		return fmt.Errorf("mrproc: duplicate registration for worker %d", id)
+	}
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	if err := writeFrame(bw, ftHelloOK, nil); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	// Clear the registration deadline; per-operation deadlines take over.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return err
+	}
+	w.conn, w.br, w.bw = conn, br, bw
+	w.setState(StateLive)
+	return nil
+}
+
+// killSpawned is New's failure cleanup: terminate any processes already
+// started.
+func (m *Master) killSpawned() {
+	for _, w := range m.workers {
+		if w.cmd != nil && w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+			_ = w.cmd.Wait()
+		}
+	}
+}
+
+// heartbeatLoop pings every worker once per interval until Close stops
+// it. A failed ping marks the worker dead (and the rpc path closes the
+// connection); liveness decisions affect wall-clock behavior only.
+func (m *Master) heartbeatLoop() {
+	defer close(m.hbDone)
+	tick := time.NewTicker(m.opt.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.hbStop:
+			return
+		case <-tick.C:
+			for _, w := range m.workers {
+				if w.getState() != StateLive {
+					continue
+				}
+				m.stats.heartbeats.Add(1)
+				if _, _, err := m.call(w, ftPing, nil, ftPong); err != nil {
+					m.stats.heartbeatMisses.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// markDown transitions a worker to Dead and closes its connection.
+// Called with w.mu held.
+func (w *worker) markDownLocked() {
+	if w.getState() == StateLive {
+		w.setState(StateDead)
+	}
+	if w.conn != nil {
+		w.conn.Close()
+	}
+}
+
+// call performs one request/response round with a worker. Any
+// transport error, unexpected frame type, or worker-reported ftError
+// marks the worker dead (a desynchronized request/response stream
+// cannot be trusted again) and is returned.
+func (m *Master) call(w *worker, t frameType, payload []byte, want ...frameType) (frameType, []byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return m.callLocked(w, t, payload, want...)
+}
+
+func (m *Master) callLocked(w *worker, t frameType, payload []byte, want ...frameType) (frameType, []byte, error) {
+	if s := w.getState(); s != StateLive {
+		return ftInvalid, nil, &errWorkerDown{id: w.id, state: s}
+	}
+	if err := w.conn.SetDeadline(time.Now().Add(m.opt.IOTimeout)); err != nil {
+		w.markDownLocked()
+		return ftInvalid, nil, err
+	}
+	if err := writeFrame(w.bw, t, payload); err != nil {
+		w.markDownLocked()
+		return ftInvalid, nil, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.markDownLocked()
+		return ftInvalid, nil, err
+	}
+	return m.recvLocked(w, want...)
+}
+
+// recvLocked reads one response frame and validates its type. Called
+// with w.mu held, after a request has been written.
+func (m *Master) recvLocked(w *worker, want ...frameType) (frameType, []byte, error) {
+	rt, rp, err := readFrame(w.br)
+	if err != nil {
+		w.markDownLocked()
+		return ftInvalid, nil, fmt.Errorf("mrproc: worker %d: %w", w.id, err)
+	}
+	if rt == ftError {
+		w.markDownLocked()
+		return ftInvalid, nil, fmt.Errorf("mrproc: worker %d: %s", w.id, rp)
+	}
+	for _, wt := range want {
+		if rt == wt {
+			return rt, rp, nil
+		}
+	}
+	w.markDownLocked()
+	return ftInvalid, nil, fmt.Errorf("mrproc: worker %d: unexpected frame type %d", w.id, rt)
+}
+
+// --- placement ---------------------------------------------------------
+
+// partWorker places a shuffle partition on a worker by hashing its key.
+func (m *Master) partWorker(k mr.PartKey) *worker {
+	h := dfs.HashBytes(encPartKeyMsg(k))
+	return m.workers[int(h%uint64(len(m.workers)))]
+}
+
+// fileWorkers returns the replication-many workers holding a file, in
+// placement order: primary first, then successive ring neighbors.
+func (m *Master) fileWorkers(name string) []*worker {
+	h := dfs.HashBytes([]byte(name))
+	n := len(m.workers)
+	out := make([]*worker, 0, m.opt.Replication)
+	for i := 0; i < m.opt.Replication; i++ {
+		out = append(out, m.workers[(int(h%uint64(n))+i)%n])
+	}
+	return out
+}
+
+// --- mr.Backend --------------------------------------------------------
+
+// Name identifies the backend in reports.
+func (m *Master) Name() string { return "proc" }
+
+// InProcess reports that this backend's data plane leaves the engine's
+// process.
+func (m *Master) InProcess() bool { return false }
+
+// ShipPartition stores one encoded shuffle partition on its placed
+// worker. Partition loss fails jobs, so a down worker is an error, not
+// a fallback.
+func (m *Master) ShipPartition(k mr.PartKey, data []byte) error {
+	w := m.partWorker(k)
+	if _, _, err := m.call(w, ftShipPart, encShipPart(k, data), ftOK); err != nil {
+		return err
+	}
+	m.stats.partsShipped.Add(1)
+	m.stats.partBytes.Add(int64(len(data)))
+	return nil
+}
+
+// FetchPartition reads a partition back from its placed worker.
+// (nil, nil) means no partition was shipped for k.
+func (m *Master) FetchPartition(k mr.PartKey) ([]byte, error) {
+	w := m.partWorker(k)
+	t, p, err := m.call(w, ftFetchPart, encPartKeyMsg(k), ftPartData, ftPartAbsent)
+	if err != nil {
+		return nil, err
+	}
+	if t == ftPartAbsent {
+		return nil, nil
+	}
+	m.stats.partsFetched.Add(1)
+	return p, nil
+}
+
+// ReleaseJob drops a job run's partitions on every live worker.
+func (m *Master) ReleaseJob(job string, seq int64) error {
+	var firstErr error
+	for _, w := range m.workers {
+		if w.getState() != StateLive {
+			continue
+		}
+		if _, _, err := m.call(w, ftReleaseJob, encReleaseJob(job, seq), ftOK); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ShipFile mirrors a file to its replication set using the incremental
+// chunk protocol: each target answers the manifest with the chunk
+// indices it lacks, and only those move. A file counts as shipped when
+// at least one replica holds it.
+func (m *Master) ShipFile(name string, data []byte) error {
+	chunks := splitChunks(data)
+	manifest := encManifest(name, chunks)
+	var stored int
+	var firstErr error
+	for _, w := range m.fileWorkers(name) {
+		if err := m.shipFileTo(w, name, manifest, chunks, data); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		stored++
+	}
+	if stored == 0 {
+		return firstErr
+	}
+	m.stats.filesShipped.Add(1)
+	m.stats.fileBytes.Add(int64(len(data)))
+	return nil
+}
+
+// shipFileTo runs the master side of the incremental transfer with one
+// worker: manifest → needed indices → chunk data → file commit. The
+// whole conversation holds the worker's lock; the protocol is
+// request/response per worker, and interleaving another request inside
+// the transfer would desynchronize the stream.
+func (m *Master) shipFileTo(w *worker, name string, manifest []byte, chunks []chunkRef, data []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, needRaw, err := m.callLocked(w, ftShipFile, manifest, ftNeedChunks)
+	if err != nil {
+		return err
+	}
+	need, err := decNeed(needRaw, len(chunks))
+	if err != nil {
+		w.markDownLocked()
+		return err
+	}
+	var shippedBytes int64
+	for _, idx := range need {
+		off := int(idx) * chunkSize
+		chunk := data[off : off+int(chunks[idx].size)]
+		if err := writeFrame(w.bw, ftChunkData, encChunk(idx, chunk)); err != nil {
+			w.markDownLocked()
+			return err
+		}
+		shippedBytes += int64(len(chunk))
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.markDownLocked()
+		return err
+	}
+	if _, _, err := m.recvLocked(w, ftFileOK); err != nil {
+		return err
+	}
+	m.stats.chunksShipped.Add(int64(len(need)))
+	m.stats.chunkBytesShipped.Add(shippedBytes)
+	m.stats.chunksDeduped.Add(int64(len(chunks) - len(need)))
+	m.stats.chunkBytesDeduped.Add(int64(len(data)) - shippedBytes)
+	return nil
+}
+
+// FetchFile reads a mirrored file from the first live replica that
+// holds it.
+func (m *Master) FetchFile(name string) ([]byte, error) {
+	var firstErr error
+	for _, w := range m.fileWorkers(name) {
+		t, p, err := m.call(w, ftFetchFile, encName(name), ftFileData, ftFileAbsent)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if t == ftFileData {
+			return p, nil
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, &mr.ErrNoRemoteFile{Name: name}
+}
+
+// DropFile forgets a file on its replication set.
+func (m *Master) DropFile(name string) error {
+	var firstErr error
+	for _, w := range m.fileWorkers(name) {
+		if w.getState() != StateLive {
+			continue
+		}
+		if _, _, err := m.call(w, ftDropFile, encName(name), ftOK); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close drains and stops every worker: stop the heartbeat, send each
+// live worker a drain (it finishes in-flight work, acknowledges, and
+// waits for us to close the socket — see serve in worker.go for why
+// that order kills the shutdown race), close the connections, and reap
+// the processes.
+func (m *Master) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.hbStop)
+		<-m.hbDone
+		var errs []error
+		for _, w := range m.workers {
+			if w.getState() == StateLive {
+				if _, _, err := m.call(w, ftDrain, nil, ftDrainOK); err != nil {
+					errs = append(errs, err)
+				} else {
+					w.setState(StateDraining)
+				}
+			}
+			w.mu.Lock()
+			if w.conn != nil {
+				w.conn.Close()
+			}
+			w.mu.Unlock()
+			if w.cmd != nil {
+				if err := w.cmd.Wait(); err != nil && w.getState() == StateDraining {
+					errs = append(errs, fmt.Errorf("mrproc: worker %d exit: %w", w.id, err))
+				}
+			}
+			w.setState(StateExited)
+		}
+		m.closeErr = errors.Join(errs...)
+	})
+	return m.closeErr
+}
+
+// KillWorker forcibly terminates a worker process without a drain —
+// the chaos hook for membership tests and fault experiments. The
+// heartbeat (or the next RPC routed to the worker) observes the death
+// and marks the worker Dead.
+func (m *Master) KillWorker(id int) error {
+	if id < 0 || id >= len(m.workers) {
+		return fmt.Errorf("mrproc: no worker %d", id)
+	}
+	w := m.workers[id]
+	if w.cmd == nil || w.cmd.Process == nil {
+		return fmt.Errorf("mrproc: worker %d has no process", id)
+	}
+	return w.cmd.Process.Kill()
+}
+
+// States snapshots the membership state of every worker, indexed by
+// worker id.
+func (m *Master) States() []WorkerState {
+	out := make([]WorkerState, len(m.workers))
+	for i, w := range m.workers {
+		out[i] = w.getState()
+	}
+	return out
+}
+
+// Stats snapshots the transport counters.
+func (m *Master) Stats() Stats {
+	return Stats{
+		PartitionsShipped: m.stats.partsShipped.Load(),
+		PartitionBytes:    m.stats.partBytes.Load(),
+		PartitionsFetched: m.stats.partsFetched.Load(),
+		FilesShipped:      m.stats.filesShipped.Load(),
+		FileBytes:         m.stats.fileBytes.Load(),
+		ChunksShipped:     m.stats.chunksShipped.Load(),
+		ChunkBytesShipped: m.stats.chunkBytesShipped.Load(),
+		ChunksDeduped:     m.stats.chunksDeduped.Load(),
+		ChunkBytesDeduped: m.stats.chunkBytesDeduped.Load(),
+		Heartbeats:        m.stats.heartbeats.Load(),
+		HeartbeatMisses:   m.stats.heartbeatMisses.Load(),
+	}
+}

@@ -1,0 +1,231 @@
+package mrproc
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/haten2/haten2/internal/mr"
+	"github.com/haten2/haten2/internal/mr/conformance"
+)
+
+// TestMain diverts re-exec'd copies of this test binary into the worker
+// loop: the proc backend spawns workers by running its own executable
+// with the mrproc environment hook set.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func newMaster(t *testing.T, opt Options) *Master {
+	t.Helper()
+	m, err := New(opt)
+	if err != nil {
+		t.Fatalf("mrproc.New: %v", err)
+	}
+	return m
+}
+
+// TestConformanceProc is the package's headline test: the multi-process
+// backend must pass the full cross-backend suite — nine golden traces
+// byte-identical, fault matrix across GOMAXPROCS, and bit-identical
+// PARAFAC/Tucker factors — with every shuffle partition and mirrored
+// file round-tripping through real worker processes.
+func TestConformanceProc(t *testing.T) {
+	conformance.RunConformance(t, func(t *testing.T) mr.Backend {
+		return newMaster(t, Options{Workers: 2})
+	})
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	m := newMaster(t, Options{Workers: 2, HeartbeatInterval: -1})
+	defer m.Close()
+	k := mr.PartKey{Job: "grid", Seq: 1, Task: 0, Reducer: 3}
+	if data, err := m.FetchPartition(k); err != nil || data != nil {
+		t.Fatalf("fetch before ship: %v %v", data, err)
+	}
+	if err := m.ShipPartition(k, []byte("bucket bytes")); err != nil {
+		t.Fatal(err)
+	}
+	other := mr.PartKey{Job: "grid", Seq: 2, Task: 1, Reducer: 0}
+	if err := m.ShipPartition(other, []byte("other run")); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := m.FetchPartition(k); err != nil || string(data) != "bucket bytes" {
+		t.Fatalf("fetch: %q %v", data, err)
+	}
+	// Releasing (job, seq) must drop exactly that run's partitions.
+	if err := m.ReleaseJob("grid", 1); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := m.FetchPartition(k); err != nil || data != nil {
+		t.Fatalf("fetch after release: %q %v", data, err)
+	}
+	if data, err := m.FetchPartition(other); err != nil || string(data) != "other run" {
+		t.Fatalf("other run lost by release: %q %v", data, err)
+	}
+	s := m.Stats()
+	if s.PartitionsShipped != 2 || s.PartitionsFetched != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestIncrementalFileTransfer pins the content-hashed transfer: a
+// re-ship of unchanged content moves zero chunks, and a one-byte edit
+// moves exactly the chunk containing it.
+func TestIncrementalFileTransfer(t *testing.T) {
+	m := newMaster(t, Options{Workers: 2, Replication: 2, HeartbeatInterval: -1})
+	defer m.Close()
+	data := make([]byte, 3*chunkSize+100) // four chunks, last one partial
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := m.ShipFile("stage/checkpoint", data); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.ChunksShipped != 8 || s.ChunkBytesShipped != 2*int64(len(data)) || s.ChunksDeduped != 0 {
+		t.Fatalf("first ship (4 chunks x 2 replicas): %+v", s)
+	}
+	if got, err := m.FetchFile("stage/checkpoint"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fetch: %d bytes, %v", len(got), err)
+	}
+	// Identical content: everything dedupes, nothing moves.
+	if err := m.ShipFile("stage/checkpoint", data); err != nil {
+		t.Fatal(err)
+	}
+	s = m.Stats()
+	if s.ChunksShipped != 8 || s.ChunksDeduped != 8 || s.ChunkBytesDeduped != 2*int64(len(data)) {
+		t.Fatalf("identical re-ship: %+v", s)
+	}
+	// A one-byte edit in the last chunk: only that chunk transfers.
+	data2 := append([]byte{}, data...)
+	data2[len(data2)-1] ^= 0xff
+	if err := m.ShipFile("stage/checkpoint", data2); err != nil {
+		t.Fatal(err)
+	}
+	s = m.Stats()
+	if s.ChunksShipped != 10 || s.ChunksDeduped != 14 {
+		t.Fatalf("edited re-ship: %+v", s)
+	}
+	if got, err := m.FetchFile("stage/checkpoint"); err != nil || !bytes.Equal(got, data2) {
+		t.Fatalf("fetch after edit: %d bytes, %v", len(got), err)
+	}
+	if err := m.DropFile("stage/checkpoint"); err != nil {
+		t.Fatal(err)
+	}
+	var missing *mr.ErrNoRemoteFile
+	if _, err := m.FetchFile("stage/checkpoint"); !errors.As(err, &missing) {
+		t.Fatalf("fetch after drop: %v", err)
+	}
+}
+
+// TestMembershipLifecycle walks the state machine: live after New, dead
+// after a kill is noticed by the heartbeat, exited after Close — and a
+// surviving replica keeps the file plane available throughout.
+func TestMembershipLifecycle(t *testing.T) {
+	m := newMaster(t, Options{Workers: 2, Replication: 2, HeartbeatInterval: 25 * time.Millisecond})
+	defer m.Close()
+	for id, s := range m.States() {
+		if s != StateLive {
+			t.Fatalf("worker %d after New: %v", id, s)
+		}
+	}
+	if err := m.ShipFile("survivor", []byte("replicated twice")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.KillWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.States()[1] != StateDead {
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat never marked killed worker dead: %v", m.States())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s := m.Stats(); s.Heartbeats == 0 || s.HeartbeatMisses == 0 {
+		t.Fatalf("heartbeat counters: %+v", s)
+	}
+	if m.States()[0] != StateLive {
+		t.Fatalf("worker 0 should be unaffected: %v", m.States())
+	}
+	// File plane degrades, not fails: the surviving replica serves reads
+	// and absorbs writes.
+	if got, err := m.FetchFile("survivor"); err != nil || string(got) != "replicated twice" {
+		t.Fatalf("fetch with one replica dead: %q %v", got, err)
+	}
+	if err := m.ShipFile("survivor2", []byte("one live replica left")); err != nil {
+		t.Fatalf("ship with one replica dead: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close with a dead worker: %v", err)
+	}
+	for id, s := range m.States() {
+		if s != StateExited {
+			t.Fatalf("worker %d after Close: %v", id, s)
+		}
+	}
+}
+
+// TestDrainShutdownClean is the regression pin for the shutdown race:
+// traffic immediately before Close must never surface an ECONNRESET —
+// the drain handshake has the worker hold its socket open until the
+// master closes first.
+func TestDrainShutdownClean(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		m := newMaster(t, Options{Workers: 2, HeartbeatInterval: -1})
+		for j := 0; j < 4; j++ {
+			k := mr.PartKey{Job: "drain", Seq: int64(i), Task: j}
+			if err := m.ShipPartition(k, bytes.Repeat([]byte{byte(j)}, 4096)); err != nil {
+				t.Fatalf("iteration %d: ship: %v", i, err)
+			}
+		}
+		if err := m.ShipFile("drain/file", bytes.Repeat([]byte("x"), 3*chunkSize)); err != nil {
+			t.Fatalf("iteration %d: ship file: %v", i, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("iteration %d: close: %v", i, err)
+		}
+		for id, s := range m.States() {
+			if s != StateExited {
+				t.Fatalf("iteration %d: worker %d state %v after Close", i, id, s)
+			}
+		}
+	}
+}
+
+// TestStartStopGoroutineClean pins that Close joins everything the
+// master started: repeated start/stop cycles (heartbeat enabled) leave
+// the goroutine count where it began.
+func TestStartStopGoroutineClean(t *testing.T) {
+	cycle := func() {
+		m := newMaster(t, Options{Workers: 2, HeartbeatInterval: 10 * time.Millisecond})
+		if err := m.ShipPartition(mr.PartKey{Job: "leak", Seq: 1}, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ShipFile("leak/file", []byte("mirror")); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	cycle() // warm up lazy runtime machinery before taking the baseline
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
